@@ -1,0 +1,318 @@
+//! FFT — the SPLASH-2 six-step 1D FFT.
+//!
+//! `n = 2^m` complex values viewed as an `n1 × n1` matrix (`n1 = sqrt(n)`),
+//! rows block-partitioned over nodes:
+//!
+//! 1. transpose, 2. n1-point FFT on each row, 3. twiddle multiply,
+//! 4. transpose, 5. n1-point FFT on each row, 6. transpose.
+//!
+//! The transposes are the famous all-to-all: every node reads a column
+//! stripe of every other node's rows. In the paper FFT is one of the two
+//! applications with poor scalability — "the dominant part of the parallel
+//! overhead is remote memory fetches which account for roughly 77% of the
+//! overhead" — and that is exactly what the transpose produces here.
+
+use crate::common::{cexp, chunk_range, cmul, Complex};
+use crate::workload::Workload;
+use dsm::{DsmCluster, DsmNode, SharedArray};
+use netsim::time::us_f64;
+use std::f64::consts::PI;
+use std::rc::Rc;
+
+/// Cost-model calibration: ns per unit of FFT work (butterflies +
+/// element-touch units), set so the paper's 2^22-point instance models to
+/// Table 1's 4752 ms sequential time.
+pub const NS_PER_UNIT: f64 = 4_752e6 / ((1u64 << 21) as f64 * 22.0 + 4.0 * (1u64 << 22) as f64);
+
+/// FFT problem instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Fft {
+    /// log2 of the point count; must be even (square matrix view).
+    pub m: u32,
+}
+
+impl Fft {
+    /// The paper's instance: 2^22 complex values.
+    pub fn paper() -> Self {
+        Self { m: 22 }
+    }
+
+    /// Total points.
+    pub fn n(&self) -> usize {
+        1usize << self.m
+    }
+
+    /// Matrix side (`sqrt(n)`).
+    pub fn n1(&self) -> usize {
+        1usize << (self.m / 2)
+    }
+
+    /// Abstract work units: butterflies + transpose/twiddle touches.
+    pub fn units(&self) -> f64 {
+        let n = self.n() as f64;
+        n / 2.0 * self.m as f64 + 4.0 * n
+    }
+
+    /// Deterministic input value for global index `i`.
+    fn input(i: usize) -> Complex {
+        let u = crate::common::unit_f64(0xFF7, i as u64);
+        let v = crate::common::unit_f64(0x7FF, i as u64);
+        [2.0 * u - 1.0, 2.0 * v - 1.0]
+    }
+}
+
+/// In-place iterative radix-2 FFT (bit-reversal + butterfly passes).
+pub fn fft_in_place(a: &mut [Complex]) {
+    let n = a.len();
+    assert!(n.is_power_of_two());
+    // Bit reversal.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            a.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let wl = cexp(ang);
+        for base in (0..n).step_by(len) {
+            let mut w: Complex = [1.0, 0.0];
+            for k in 0..len / 2 {
+                let u = a[base + k];
+                let v = cmul(a[base + k + len / 2], w);
+                a[base + k] = [u[0] + v[0], u[1] + v[1]];
+                a[base + k + len / 2] = [u[0] - v[0], u[1] - v[1]];
+                w = cmul(w, wl);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive DFT used to validate the pipeline in tests.
+pub fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = [0.0, 0.0];
+            for (j, &v) in x.iter().enumerate() {
+                let w = cexp(-2.0 * PI * (k * j) as f64 / n as f64);
+                let t = cmul(v, w);
+                acc = [acc[0] + t[0], acc[1] + t[1]];
+            }
+            acc
+        })
+        .collect()
+}
+
+fn transpose_host(src: &[Complex], n1: usize) -> Vec<Complex> {
+    let mut dst = vec![[0.0; 2]; src.len()];
+    for r in 0..n1 {
+        for c in 0..n1 {
+            dst[c * n1 + r] = src[r * n1 + c];
+        }
+    }
+    dst
+}
+
+/// Host-side sequential six-step pipeline — the verification oracle. The
+/// parallel kernel performs the identical arithmetic in the identical
+/// order, so results match bit-for-bit.
+pub fn six_step_host(input: &[Complex], n1: usize) -> Vec<Complex> {
+    let mut t = transpose_host(input, n1);
+    for r in 0..n1 {
+        let row = &mut t[r * n1..(r + 1) * n1];
+        fft_in_place(row);
+        for (c, v) in row.iter_mut().enumerate() {
+            let w = cexp(-2.0 * PI * (r * c) as f64 / (n1 * n1) as f64);
+            *v = cmul(*v, w);
+        }
+    }
+    let mut x = transpose_host(&t, n1);
+    for r in 0..n1 {
+        fft_in_place(&mut x[r * n1..(r + 1) * n1]);
+    }
+    transpose_host(&x, n1)
+}
+
+/// Parallel transpose: `dst[a][b] = src[b][a]`, each node filling its own
+/// row block of `dst` by reading column stripes of every row of `src`.
+async fn transpose_par(
+    node: &DsmNode,
+    src: SharedArray<Complex>,
+    dst: SharedArray<Complex>,
+    n1: usize,
+) {
+    let p = node.nodes();
+    let my = chunk_range(n1, node.id(), p);
+    let rows = my.len();
+    if rows == 0 {
+        return;
+    }
+    // Every source row contains this node's column stripe, so the whole
+    // source array is needed: fault it in as one pipelined burst (the
+    // page-granular all-to-all the paper blames FFT's overhead on).
+    node.fetch_range(src.addr(0), n1 * n1 * 16).await;
+    let mut buf: Vec<Vec<Complex>> = vec![vec![[0.0; 2]; n1]; rows];
+    for b in 0..n1 {
+        // Column stripe [my.start, my.end) of source row b.
+        let seg = src.read(node, b * n1 + my.start..b * n1 + my.end).await;
+        for (off, v) in seg.into_iter().enumerate() {
+            buf[off][b] = v;
+        }
+    }
+    for (off, row) in buf.into_iter().enumerate() {
+        dst.write(node, (my.start + off) * n1, &row).await;
+    }
+    // One unit per element moved.
+    node.compute(us_f64(rows as f64 * n1 as f64 * NS_PER_UNIT / 1e3))
+        .await;
+}
+
+/// Row-block FFT phase, optionally applying the six-step twiddle factors.
+async fn fft_rows(node: &DsmNode, arr: SharedArray<Complex>, n1: usize, twiddle: bool) {
+    let p = node.nodes();
+    let my = chunk_range(n1, node.id(), p);
+    let lg = n1.trailing_zeros() as f64;
+    for r in my.clone() {
+        let mut row = arr.read(node, r * n1..(r + 1) * n1).await;
+        fft_in_place(&mut row);
+        if twiddle {
+            for (c, v) in row.iter_mut().enumerate() {
+                let w = cexp(-2.0 * PI * (r * c) as f64 / (n1 * n1) as f64);
+                *v = cmul(*v, w);
+            }
+        }
+        arr.write(node, r * n1, &row).await;
+        let units = n1 as f64 / 2.0 * lg + if twiddle { n1 as f64 } else { 0.0 };
+        node.compute(us_f64(units * NS_PER_UNIT / 1e3)).await;
+    }
+}
+
+impl Workload for Fft {
+    fn name(&self) -> &'static str {
+        "FFT"
+    }
+
+    fn problem(&self) -> String {
+        format!("2^{} complex values", self.m)
+    }
+
+    fn modeled_seq_ns(&self) -> f64 {
+        self.units() * NS_PER_UNIT
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        // x and trans arrays of n complex doubles.
+        2 * self.n() as u64 * 16
+    }
+
+    fn run(&self, dsm: &DsmCluster) -> u64 {
+        let n = self.n();
+        let n1 = self.n1();
+        assert_eq!(n1 * n1, n, "m must be even");
+        let x = dsm.alloc_array::<Complex>(n);
+        let t = dsm.alloc_array::<Complex>(n);
+        let input: Vec<Complex> = (0..n).map(Fft::input).collect();
+        let expected = Rc::new(six_step_host(&input, n1));
+        let input = Rc::new(input);
+        let elapsed = dsm.run_spmd(move |node| {
+            let input = input.clone();
+            let expected = expected.clone();
+            async move {
+                let p = node.nodes();
+                let my = chunk_range(n1, node.id(), p);
+                // Initialize owned rows (local writes).
+                for r in my.clone() {
+                    x.write(&node, r * n1, &input[r * n1..(r + 1) * n1]).await;
+                }
+                node.barrier(0).await;
+                transpose_par(&node, x, t, n1).await;
+                node.barrier(0).await;
+                fft_rows(&node, t, n1, true).await;
+                node.barrier(0).await;
+                transpose_par(&node, t, x, n1).await;
+                node.barrier(0).await;
+                fft_rows(&node, x, n1, false).await;
+                node.barrier(0).await;
+                transpose_par(&node, x, t, n1).await;
+                node.barrier(0).await;
+                // Verify owned rows of the result against the oracle.
+                for r in my {
+                    let row = t.read(&node, r * n1..(r + 1) * n1).await;
+                    for (c, v) in row.iter().enumerate() {
+                        let e = expected[r * n1 + c];
+                        assert!(
+                            (v[0] - e[0]).abs() < 1e-9 && (v[1] - e[1]).abs() < 1e-9,
+                            "FFT mismatch at ({r},{c}): {v:?} vs {e:?}"
+                        );
+                    }
+                }
+            }
+        });
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let x: Vec<Complex> = (0..16).map(Fft::input).collect();
+        let mut f = x.clone();
+        fft_in_place(&mut f);
+        let d = naive_dft(&x);
+        for (a, b) in f.iter().zip(&d) {
+            assert!((a[0] - b[0]).abs() < 1e-9 && (a[1] - b[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn six_step_equals_direct_fft() {
+        // The six-step pipeline computes the same DFT as a flat FFT, up to
+        // the final element ordering. Verify against naive DFT directly.
+        let m = 6; // n = 64, n1 = 8
+        let n = 1usize << m;
+        let n1 = 1usize << (m / 2);
+        let x: Vec<Complex> = (0..n).map(Fft::input).collect();
+        let six = six_step_host(&x, n1);
+        let dft = naive_dft(&x);
+        // With the final transpose, the six-step pipeline leaves the DFT in
+        // natural order: six[i] == DFT[i].
+        for (i, (got, want)) in six.iter().zip(&dft).enumerate() {
+            assert!(
+                (got[0] - want[0]).abs() < 1e-8 && (got[1] - want[1]).abs() < 1e-8,
+                "{i}: {got:?} vs {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_matches_table1() {
+        let paper = Fft::paper();
+        let ms = paper.modeled_seq_ns() / 1e6;
+        assert!((ms - 4752.0).abs() < 1.0, "modeled {ms} ms");
+        assert_eq!(paper.footprint_bytes(), 2 * (1 << 22) * 16);
+    }
+
+    #[test]
+    fn parallel_fft_on_four_nodes_verifies() {
+        let sim = netsim::Sim::new(2);
+        let dsm = DsmCluster::build(&sim, multiedge::SystemConfig::one_link_1g(4));
+        let app = Fft { m: 10 }; // 1024 points, 32x32
+        let elapsed = app.run(&dsm);
+        assert!(elapsed > 0);
+        let stats = dsm.dsm_stats();
+        assert!(stats.page_fetches > 0, "transpose must fetch remote rows");
+    }
+}

@@ -1,0 +1,19 @@
+//! `apps` — SPLASH-2-style application kernels over the DSM.
+//!
+//! The paper's Table 1 workloads, reimplemented with the same decomposition
+//! and sharing patterns and verified against host-side sequential oracles.
+//! Computation is charged to virtual time through per-app cost models
+//! calibrated so each paper-sized instance reproduces Table 1's sequential
+//! execution time (see each module's `NS_PER_UNIT`).
+
+pub mod barnes;
+pub mod common;
+pub mod fft;
+pub mod lu;
+pub mod radix;
+pub mod raytrace;
+pub mod table;
+pub mod water;
+pub mod workload;
+
+pub use workload::{run_app, speedup_curve, AppRun, Workload};

@@ -1,0 +1,204 @@
+//! Radix — the SPLASH-2 integer radix sort.
+//!
+//! Iterative least-significant-digit radix sort with radix 256 over 32-bit
+//! keys (4 passes). Each pass: local histogram → shared histogram exchange →
+//! global prefix → permutation into the destination array. The permutation
+//! scatters each node's keys across the whole destination, which is the
+//! paper's poster child for "poor spatial locality generating a high amount
+//! of traffic and false sharing".
+
+use crate::common::{chunk_range, mix64};
+use crate::workload::Workload;
+use dsm::{DsmCluster, DsmNode, SharedArray};
+use netsim::time::us_f64;
+use std::rc::Rc;
+
+/// Digit width (bits) and bucket count.
+const DIGIT_BITS: u32 = 8;
+const BUCKETS: usize = 1 << DIGIT_BITS;
+const PASSES: u32 = 32 / DIGIT_BITS;
+
+/// Cost-model calibration: ns per key-touch (each key is touched twice per
+/// pass: histogram + permute), set so the paper's 32M-key instance models
+/// to Table 1's 4179 ms sequential time.
+pub const NS_PER_UNIT: f64 = 4_179e6 / ((32u64 << 20) as f64 * PASSES as f64 * 2.0);
+
+/// Radix problem instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Radix {
+    /// Number of 32-bit keys.
+    pub keys: usize,
+}
+
+impl Radix {
+    /// The paper's instance: 32M integers.
+    pub fn paper() -> Self {
+        Self { keys: 32 << 20 }
+    }
+
+    /// Key-touch units.
+    pub fn units(&self) -> f64 {
+        self.keys as f64 * PASSES as f64 * 2.0
+    }
+
+    fn input(i: usize) -> u32 {
+        mix64(0xAD1C ^ i as u64) as u32
+    }
+}
+
+/// One pass of the parallel sort. `src`/`dst` swap between passes.
+async fn radix_pass(
+    node: &DsmNode,
+    src: SharedArray<u32>,
+    dst: SharedArray<u32>,
+    hist: SharedArray<u64>,
+    shift: u32,
+    n: usize,
+) {
+    let p = node.nodes();
+    let me = node.id();
+    let my = chunk_range(n, me, p);
+    // 1. Local histogram over my slice.
+    let keys = src.read(node, my.clone()).await;
+    let mut counts = vec![0u64; BUCKETS];
+    for &k in &keys {
+        counts[((k >> shift) as usize) & (BUCKETS - 1)] += 1;
+    }
+    node.compute(us_f64(keys.len() as f64 * NS_PER_UNIT / 1e3))
+        .await;
+    // 2. Publish my histogram; wait for everyone's.
+    hist.write(node, me * BUCKETS, &counts).await;
+    node.barrier(0).await;
+    // 3. Global prefix: bucket base offsets + my rank within each bucket.
+    let all = hist.read(node, 0..p * BUCKETS).await;
+    let mut bucket_total = vec![0u64; BUCKETS];
+    let mut my_rank = vec![0u64; BUCKETS];
+    for b in 0..BUCKETS {
+        for j in 0..p {
+            let c = all[j * BUCKETS + b];
+            if j < me {
+                my_rank[b] += c;
+            }
+            bucket_total[b] += c;
+        }
+    }
+    let mut bucket_base = vec![0u64; BUCKETS];
+    let mut acc = 0u64;
+    for b in 0..BUCKETS {
+        bucket_base[b] = acc;
+        acc += bucket_total[b];
+    }
+    // 4. Permute: my keys grouped per bucket land as contiguous runs at
+    //    base + my rank (stable within a node).
+    let mut grouped: Vec<Vec<u32>> = vec![Vec::new(); BUCKETS];
+    for &k in &keys {
+        grouped[((k >> shift) as usize) & (BUCKETS - 1)].push(k);
+    }
+    // Prefetch all destination pages in one burst (write faults would
+    // otherwise cost one round trip per bucket run).
+    let wanted: Vec<(u64, usize)> = grouped
+        .iter()
+        .enumerate()
+        .filter(|(_, run)| !run.is_empty())
+        .map(|(b, run)| {
+            let at = (bucket_base[b] + my_rank[b]) as usize;
+            (dst.addr(at), run.len() * 4)
+        })
+        .collect();
+    node.fetch_ranges(&wanted).await;
+    for (b, run) in grouped.into_iter().enumerate() {
+        if run.is_empty() {
+            continue;
+        }
+        let at = (bucket_base[b] + my_rank[b]) as usize;
+        dst.write(node, at, &run).await;
+    }
+    node.compute(us_f64(keys.len() as f64 * NS_PER_UNIT / 1e3))
+        .await;
+    node.barrier(0).await;
+}
+
+impl Workload for Radix {
+    fn name(&self) -> &'static str {
+        "Radix"
+    }
+
+    fn problem(&self) -> String {
+        format!("{} integers", self.keys)
+    }
+
+    fn modeled_seq_ns(&self) -> f64 {
+        self.units() * NS_PER_UNIT
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        // Two key arrays + histograms.
+        2 * self.keys as u64 * 4 + (BUCKETS as u64) * 8 * 16
+    }
+
+    fn run(&self, dsm: &DsmCluster) -> u64 {
+        let n = self.keys;
+        let a = dsm.alloc_array::<u32>(n);
+        let b = dsm.alloc_array::<u32>(n);
+        let hist = dsm.alloc_array::<u64>(dsm.len() * BUCKETS);
+        let input: Vec<u32> = (0..n).map(Radix::input).collect();
+        let mut sorted = input.clone();
+        sorted.sort_unstable();
+        let sorted = Rc::new(sorted);
+        let input = Rc::new(input);
+        dsm.run_spmd(move |node| {
+            let input = input.clone();
+            let sorted = sorted.clone();
+            async move {
+                let p = node.nodes();
+                let my = chunk_range(n, node.id(), p);
+                // Init my slice of the source array (local home).
+                a.write(&node, my.start, &input[my.clone()]).await;
+                node.barrier(0).await;
+                for pass in 0..PASSES {
+                    let (src, dst) = if pass % 2 == 0 { (a, b) } else { (b, a) };
+                    radix_pass(&node, src, dst, hist, pass * DIGIT_BITS, n).await;
+                }
+                // PASSES is even → result is back in `a`.
+                let mine = a.read(&node, my.clone()).await;
+                assert_eq!(
+                    mine[..],
+                    sorted[my.clone()],
+                    "radix result mismatch on node {}",
+                    node.id()
+                );
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_table1() {
+        let ms = Radix::paper().modeled_seq_ns() / 1e6;
+        assert!((ms - 4179.0).abs() < 1.0, "modeled {ms} ms");
+    }
+
+    #[test]
+    fn sorts_on_four_nodes() {
+        let sim = netsim::Sim::new(4);
+        let dsm = DsmCluster::build(&sim, multiedge::SystemConfig::one_link_1g(4));
+        let app = Radix { keys: 4096 };
+        let elapsed = app.run(&dsm);
+        assert!(elapsed > 0);
+        // The permutation scatters writes into remote pages: diffs happen.
+        let stats = dsm.dsm_stats();
+        assert!(stats.diff_ops > 0, "radix must flush diffs: {stats:?}");
+    }
+
+    #[test]
+    fn sorts_on_one_node() {
+        let sim = netsim::Sim::new(4);
+        let dsm = DsmCluster::build(&sim, multiedge::SystemConfig::one_link_1g(1));
+        let app = Radix { keys: 2048 };
+        app.run(&dsm);
+    }
+}

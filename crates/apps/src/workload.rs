@@ -1,0 +1,110 @@
+//! The workload abstraction and the experiment runner.
+//!
+//! Every SPLASH-2-style kernel implements [`Workload`]; the runner builds a
+//! fresh DSM cluster for a [`SystemConfig`], executes the kernel SPMD,
+//! verifies its result against a host-side sequential reference, and
+//! collects the statistics the paper's application figures plot.
+
+use dsm::DsmCluster;
+use me_stats::Breakdown;
+use multiedge::{ProtoStats, SystemConfig};
+use netsim::{NetStats, Sim};
+
+/// A runnable, verifiable application kernel.
+pub trait Workload {
+    /// Short name as used in Table 1 ("FFT", "Radix", …).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable problem-size string ("2^20 complex values").
+    fn problem(&self) -> String;
+
+    /// Modeled *sequential* execution time in nanoseconds for this
+    /// instance's parameters (the calibrated cost model; see
+    /// `apps::table` for the calibration against Table 1).
+    fn modeled_seq_ns(&self) -> f64;
+
+    /// Shared-data footprint in bytes for this instance.
+    fn footprint_bytes(&self) -> u64;
+
+    /// Allocate shared state, run the kernel SPMD on `dsm`, verify the
+    /// result (panicking on mismatch), and return the parallel execution
+    /// time in virtual nanoseconds.
+    fn run(&self, dsm: &DsmCluster) -> u64;
+}
+
+/// Everything measured in one application × configuration run.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// Application name.
+    pub name: &'static str,
+    /// Configuration name ("1L-1G" etc.).
+    pub config: String,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Parallel execution time (virtual ns).
+    pub elapsed_ns: u64,
+    /// Modeled sequential time at the same parameters (ns).
+    pub seq_ns: f64,
+    /// Average per-node execution-time breakdown.
+    pub breakdown: Breakdown,
+    /// Cluster-wide DSM statistics.
+    pub dsm: dsm::DsmStats,
+    /// Cluster-wide protocol statistics.
+    pub proto: ProtoStats,
+    /// Network counters.
+    pub net: NetStats,
+}
+
+impl AppRun {
+    /// Speedup over the modeled sequential execution.
+    pub fn speedup(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.seq_ns / self.elapsed_ns as f64
+    }
+
+    /// Fraction of per-node time spent in the protocol (Figures 3c/5b).
+    pub fn protocol_cpu_fraction(&self) -> f64 {
+        self.breakdown.frac(self.breakdown.protocol_ns)
+    }
+
+    /// Additional traffic: extra frames (explicit acks + nacks +
+    /// retransmissions) over data frames (Figures 3e/5e).
+    pub fn extra_traffic_fraction(&self) -> f64 {
+        self.proto.extra_frame_fraction()
+    }
+}
+
+/// Run `w` on a fresh cluster built from `system`.
+pub fn run_app(system: SystemConfig, w: &dyn Workload) -> AppRun {
+    let nodes = system.nodes;
+    let config = system.name.clone();
+    let sim = Sim::new(system.seed);
+    let dsm = DsmCluster::build(&sim, system);
+    let elapsed_ns = w.run(&dsm);
+    let breakdowns = dsm.breakdowns(elapsed_ns);
+    AppRun {
+        name: w.name(),
+        config,
+        nodes,
+        elapsed_ns,
+        seq_ns: w.modeled_seq_ns(),
+        breakdown: Breakdown::average(&breakdowns),
+        dsm: dsm.dsm_stats(),
+        proto: dsm.proto_stats(),
+        net: dsm.cluster.net.stats(),
+    }
+}
+
+/// Run `w` across a set of cluster sizes (speedup curves, Figures 3a/4a).
+pub fn speedup_curve(
+    mk_system: impl Fn(usize) -> SystemConfig,
+    w: &dyn Workload,
+    node_counts: &[usize],
+) -> Vec<AppRun> {
+    node_counts
+        .iter()
+        .map(|&n| run_app(mk_system(n), w))
+        .collect()
+}

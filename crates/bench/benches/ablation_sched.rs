@@ -1,0 +1,34 @@
+//! Ablation: link-scheduling policy for spatial parallelism.
+//!
+//! The paper uses round-robin (§2.5). This compares round-robin against
+//! random, join-shortest-queue and pinning to a single rail on the 2-rail
+//! setup.
+
+use me_stats::table::{fmt_f, fmt_pct};
+use me_stats::Table;
+use multiedge::{SchedPolicy, SystemConfig};
+use multiedge_bench::{run_micro, MicroKind};
+
+fn main() {
+    let mut t = Table::new(
+        "Ablation: scheduling policy on 2 x 1GbE (one-way, 1MB ops)",
+        &["policy", "MB/s", "ooo-frames"],
+    );
+    for (name, policy) in [
+        ("round-robin", SchedPolicy::RoundRobin),
+        ("random", SchedPolicy::Random),
+        ("shortest-queue", SchedPolicy::ShortestQueue),
+        ("single-rail", SchedPolicy::Single(0)),
+    ] {
+        let mut cfg = SystemConfig::two_link_1g_unordered(2);
+        cfg.proto.sched = policy;
+        let r = run_micro(&cfg, MicroKind::OneWay, 1 << 20, 16);
+        t.row(vec![
+            name.to_string(),
+            fmt_f(r.throughput_mb_s),
+            fmt_pct(r.proto.ooo_fraction()),
+        ]);
+    }
+    t.print();
+    println!("expected: RR/random/JSQ all ~2x single-rail; RR is what the paper ships");
+}

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the hot protocol data structures.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use frame::{decode_frame, encode_frame, Frame, FrameHeader, MacAddr};
+use std::hint::black_box;
+
+fn codec(c: &mut Criterion) {
+    let f = Frame {
+        src: MacAddr::new(0, 0),
+        dst: MacAddr::new(1, 0),
+        header: FrameHeader::default(),
+        payload: Bytes::from(vec![7u8; 1400]),
+    };
+    let wire = encode_frame(&f);
+    c.bench_function("frame_encode_1400B", |b| {
+        b.iter(|| encode_frame(black_box(&f)))
+    });
+    c.bench_function("frame_decode_1400B", |b| {
+        b.iter(|| decode_frame(f.src, f.dst, black_box(&wire)).unwrap())
+    });
+}
+
+fn seq_tracker(c: &mut Criterion) {
+    c.bench_function("seqtracker_in_order_1k", |b| {
+        b.iter(|| {
+            let mut t = multiedge::recvseq::SeqTracker::new();
+            for s in 0..1000u64 {
+                black_box(t.admit(s));
+            }
+            t.cumulative()
+        })
+    });
+    c.bench_function("seqtracker_two_rail_interleave_1k", |b| {
+        b.iter(|| {
+            let mut t = multiedge::recvseq::SeqTracker::new();
+            for i in 0..500u64 {
+                black_box(t.admit(2 * i + 1));
+                black_box(t.admit(2 * i));
+            }
+            t.cumulative()
+        })
+    });
+}
+
+fn ordering(c: &mut Criterion) {
+    use multiedge::order::{FragMeta, OpOrdering};
+    c.bench_function("opordering_unfenced_1k", |b| {
+        b.iter(|| {
+            let mut o: OpOrdering<u32> = OpOrdering::new();
+            for i in 0..1000u64 {
+                let m = FragMeta {
+                    op_id: i,
+                    op_total: 1,
+                    fence_floor: 0,
+                    fence_backward: false,
+                    len: 1,
+                };
+                black_box(o.offer(m, i as u32));
+            }
+            o.applied_below()
+        })
+    });
+}
+
+fn diffs(c: &mut Criterion) {
+    let twin = vec![0u8; 4096];
+    let mut cur = twin.clone();
+    for i in (0..4096).step_by(64) {
+        cur[i] = 1;
+    }
+    c.bench_function("diff_runs_sparse_page", |b| {
+        b.iter(|| dsm::diff::diff_runs(black_box(&twin), black_box(&cur)))
+    });
+}
+
+fn fft_kernel(c: &mut Criterion) {
+    let row: Vec<[f64; 2]> = (0..1024)
+        .map(|i| [apps::common::unit_f64(1, i), apps::common::unit_f64(2, i)])
+        .collect();
+    c.bench_function("fft_1024_point", |b| {
+        b.iter(|| {
+            let mut r = row.clone();
+            apps::fft::fft_in_place(&mut r);
+            r[0]
+        })
+    });
+}
+
+criterion_group!(benches, codec, seq_tracker, ordering, diffs, fft_kernel);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Figure 3 — application statistics over a single 1-GBit/s link (1L-1G):
+//! speedup curves, execution-time breakdowns, protocol CPU time, interrupt
+//! fractions and additional traffic.
+
+use multiedge::SystemConfig;
+use multiedge_bench::app_figure;
+
+fn main() {
+    let counts: Vec<usize> = match std::env::var("MULTIEDGE_SCALE").as_deref() {
+        Ok("tiny") => vec![1, 4],
+        _ => vec![1, 2, 4, 8, 16],
+    };
+    app_figure("Figure 3 (1L-1G)", SystemConfig::one_link_1g, &counts);
+    println!("paper shape: Barnes/Raytrace/Water-Nsq speedups 13-14; LU/Water-Sp 6-8;");
+    println!("FFT/Radix poor; protocol CPU <= 11%; extra traffic <= 15% (mostly acks)");
+}

@@ -1,0 +1,14 @@
+//! Figure 4 — application statistics over a single 10-GBit/s link (1L-10G,
+//! 4 nodes): speedups ≈3-4, sync and data-wait roughly halved vs 1L-1G.
+
+use multiedge::SystemConfig;
+use multiedge_bench::app_figure;
+
+fn main() {
+    let counts: Vec<usize> = match std::env::var("MULTIEDGE_SCALE").as_deref() {
+        Ok("tiny") => vec![1, 4],
+        _ => vec![1, 2, 4],
+    };
+    app_figure("Figure 4 (1L-10G)", SystemConfig::one_link_10g, &counts);
+    println!("paper shape: most apps reach speedup 3-4 on 4 nodes; FFT and Radix lag");
+}

@@ -1,0 +1,14 @@
+//! `multiedge-bench` — workload drivers and harness plumbing for
+//! reproducing every table and figure of the MultiEdge paper.
+//!
+//! The actual figure/table harnesses live in `benches/` (custom `cargo
+//! bench` targets); this library hosts the reusable drivers:
+//!
+//! * [`micro`] — the paper's ping-pong / one-way / two-way micro-benchmarks
+//!   (Figure 2 and the §4 network statistics).
+
+pub mod appfig;
+pub mod micro;
+
+pub use appfig::{app_figure, workloads_for_env};
+pub use micro::{default_iters, fig2_sizes, run_micro, MicroKind, MicroResult};

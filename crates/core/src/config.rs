@@ -1,0 +1,250 @@
+//! Protocol configuration, host cost model, and the paper's system setups.
+
+use netsim::time::{us_f64, Dur};
+use netsim::{ChannelParams, FaultModel};
+
+/// Flow-control / reliability parameters (§2.4 of the paper).
+#[derive(Debug, Clone)]
+pub struct ProtoConfig {
+    /// Sliding-window size in frames (fixed at "compile time" in the paper;
+    /// a config knob here so the window-sweep ablation can vary it).
+    pub window: u64,
+    /// Send an explicit ACK after this many unacknowledged data frames.
+    pub ack_every: u32,
+    /// ... or after this much time with acknowledgement state pending.
+    pub delayed_ack_timeout: Dur,
+    /// How long an observed sequence gap may persist before a NACK is sent.
+    /// Covers multi-link skew: frames arriving out of order but closely
+    /// spaced must not trigger spurious retransmissions.
+    pub nack_delay: Dur,
+    /// Minimum spacing between NACKs for the same missing range.
+    pub nack_repeat: Dur,
+    /// Coarse-grain retransmission timeout: if no acknowledgement progress
+    /// for this long while frames are unacknowledged, retransmit the last
+    /// transmitted frame (§2.4).
+    pub retransmit_timeout: Dur,
+    /// Force both fences on every operation (the paper's strictly-ordered
+    /// 2L mode, as opposed to the relaxed 2Lu mode).
+    pub force_ordered: bool,
+    /// Maximum payload bytes per frame.
+    pub max_payload: usize,
+    /// Link-scheduling policy for spatial parallelism (§2.5; the paper uses
+    /// round-robin — alternatives exist for the scheduling ablation).
+    pub sched: crate::sched::SchedPolicy,
+}
+
+impl Default for ProtoConfig {
+    fn default() -> Self {
+        Self {
+            // Far above the per-stream bandwidth-delay product (~3 frames
+            // at 1 GbE) but small enough that many-to-one application
+            // traffic cannot swamp a switch output buffer.
+            window: 64,
+            ack_every: 24,
+            delayed_ack_timeout: us_f64(300.0),
+            // Above the worst-case multi-rail skew (≈ window/rails × frame
+            // time ≈ 1.6 ms at 1 GbE), so skew never masquerades as loss,
+            // yet far below the 10 ms coarse timeout.
+            nack_delay: us_f64(2_000.0),
+            nack_repeat: us_f64(4_000.0),
+            retransmit_timeout: netsim::time::ms(10),
+            force_ordered: false,
+            max_payload: frame::MAX_PAYLOAD,
+            sched: crate::sched::SchedPolicy::RoundRobin,
+        }
+    }
+}
+
+/// Calibrated host-side costs of the kernel data path (§2.3).
+///
+/// Defaults are tuned so the micro-benchmarks land on the paper's headline
+/// numbers (≈120 MB/s on 1L-1G, ≈240 MB/s on 2L-1G, ≈1100 MB/s on 1L-10G,
+/// ≈30 µs minimum ping-pong latency, ≈2 µs host overhead per operation).
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Entering/leaving the kernel for one operation.
+    pub syscall: Dur,
+    /// User↔kernel copy bandwidth in bytes/s (both send and receive copies).
+    pub copy_bytes_per_sec: f64,
+    /// Building one Ethernet + MultiEdge header.
+    pub frame_build: Dur,
+    /// Posting one DMA descriptor.
+    pub dma_post: Dur,
+    /// Interrupt entry + handler prologue.
+    pub interrupt: Dur,
+    /// Waking the protocol kernel thread after an interrupt.
+    pub kthread_wake: Dur,
+    /// Per-frame receive-path protocol work (header parse, window update).
+    pub rx_frame_proc: Dur,
+    /// Per-frame transmit-completion processing (freeing send buffers).
+    pub tx_complete_proc: Dur,
+    /// Waking a user task blocked on a handle or notification.
+    pub app_wake: Dur,
+    /// NIC interrupt moderation (the Tigon3/Myricom `rx-usecs` timer): when
+    /// the protocol thread is idle, a newly arrived event arms a hardware
+    /// timer and the interrupt fires only after this delay, batching
+    /// everything that arrived meanwhile.
+    pub rx_irq_delay: Dur,
+    /// NIC interrupt moderation frame cap (`rx-frames`): the interrupt
+    /// fires early once this many events are pending.
+    pub rx_irq_frames: usize,
+    /// The 10-GbE NIC cannot mask send-completion interrupts (§4): when
+    /// true, an additional per-frame tax is charged on the send path,
+    /// modeling the sender-side overhead the paper measured.
+    pub unmaskable_tx_irq: bool,
+    /// Extra per-frame send-path cost when `unmaskable_tx_irq` (models the
+    /// sender-side overhead the paper blames for the missing 12% at 10 Gbit).
+    pub tx_irq_send_tax: Dur,
+
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            syscall: us_f64(0.7),
+            copy_bytes_per_sec: 2.6e9,
+            frame_build: us_f64(0.25),
+            dma_post: us_f64(0.3),
+            interrupt: us_f64(2.0),
+            kthread_wake: us_f64(1.5),
+            rx_frame_proc: us_f64(0.6),
+            tx_complete_proc: us_f64(0.2),
+            app_wake: us_f64(1.0),
+            rx_irq_delay: us_f64(16.0),
+            rx_irq_frames: 8,
+            unmaskable_tx_irq: false,
+            tx_irq_send_tax: us_f64(0.2),
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost model for the Myricom 10-GbE NIC (send-path interrupts on).
+    pub fn gbe_10() -> Self {
+        Self {
+            unmaskable_tx_irq: true,
+            ..Self::default()
+        }
+    }
+
+    /// Time to copy `bytes` between user and kernel space.
+    pub fn copy_cost(&self, bytes: usize) -> Dur {
+        Dur::for_bytes(bytes, self.copy_bytes_per_sec)
+    }
+}
+
+/// A complete experimental setup: cluster shape + link + costs + protocol.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Short name used in reports ("1L-1G", "2L-1G", "2Lu-1G", "1L-10G").
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of rails (links per connection).
+    pub rails: usize,
+    /// Link parameters.
+    pub link: ChannelParams,
+    /// Per-frame switch forwarding delay.
+    pub switch_delay: Dur,
+    /// Transient-fault model.
+    pub fault: FaultModel,
+    /// Host cost model.
+    pub cost: CostModel,
+    /// Protocol parameters.
+    pub proto: ProtoConfig,
+    /// RNG seed for the run.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    fn base(name: &str, nodes: usize, rails: usize, link: ChannelParams, cost: CostModel) -> Self {
+        Self {
+            name: name.to_string(),
+            nodes,
+            rails,
+            link,
+            switch_delay: us_f64(1.0),
+            fault: FaultModel::default(),
+            cost,
+            proto: ProtoConfig::default(),
+            seed: 1,
+        }
+    }
+
+    /// The paper's **1L-1G**: one 1-GbE rail.
+    pub fn one_link_1g(nodes: usize) -> Self {
+        Self::base("1L-1G", nodes, 1, ChannelParams::gbe_1(), CostModel::default())
+    }
+
+    /// The paper's **2L-1G**: two 1-GbE rails, strictly ordered delivery.
+    pub fn two_link_1g(nodes: usize) -> Self {
+        let mut c = Self::base("2L-1G", nodes, 2, ChannelParams::gbe_1(), CostModel::default());
+        c.proto.force_ordered = true;
+        c
+    }
+
+    /// The paper's **2Lu-1G**: two 1-GbE rails, out-of-order delivery
+    /// allowed wherever the application does not fence.
+    pub fn two_link_1g_unordered(nodes: usize) -> Self {
+        let mut c = Self::base("2Lu-1G", nodes, 2, ChannelParams::gbe_1(), CostModel::default());
+        c.name = "2Lu-1G".to_string();
+        c
+    }
+
+    /// The paper's **1L-10G**: one 10-GbE rail.
+    pub fn one_link_10g(nodes: usize) -> Self {
+        Self::base("1L-10G", nodes, 1, ChannelParams::gbe_10(), CostModel::gbe_10())
+    }
+
+    /// Nominal unidirectional link payload ceiling in MB/s (all rails),
+    /// i.e. the figure the paper calls "nominal link throughput".
+    pub fn nominal_mb_s(&self) -> f64 {
+        self.link.bytes_per_sec * self.rails as f64 / 1e6
+    }
+
+    /// The netsim cluster spec for this configuration.
+    pub fn cluster_spec(&self) -> netsim::ClusterSpec {
+        netsim::ClusterSpec {
+            nodes: self.nodes,
+            rails: self.rails,
+            link: self.link,
+            switch_delay: self.switch_delay,
+            fault: self.fault,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_setups() {
+        let a = SystemConfig::one_link_1g(16);
+        assert_eq!((a.nodes, a.rails), (16, 1));
+        assert!((a.nominal_mb_s() - 125.0).abs() < 1e-9);
+
+        let b = SystemConfig::two_link_1g(16);
+        assert_eq!(b.rails, 2);
+        assert!(b.proto.force_ordered);
+        assert!((b.nominal_mb_s() - 250.0).abs() < 1e-9);
+
+        let bu = SystemConfig::two_link_1g_unordered(16);
+        assert!(!bu.proto.force_ordered);
+
+        let c = SystemConfig::one_link_10g(4);
+        assert_eq!((c.nodes, c.rails), (4, 1));
+        assert!(c.cost.unmaskable_tx_irq);
+        assert!((c.nominal_mb_s() - 1250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn copy_cost_scales_linearly() {
+        let cm = CostModel::default();
+        assert_eq!(cm.copy_cost(0), Dur::ZERO);
+        let c1 = cm.copy_cost(4096);
+        let c2 = cm.copy_cost(8192);
+        assert!(c2.as_nanos() >= 2 * c1.as_nanos() - 2);
+        assert!(c2.as_nanos() <= 2 * c1.as_nanos() + 2);
+    }
+}

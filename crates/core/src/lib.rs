@@ -1,0 +1,63 @@
+//! **MultiEdge** — an edge-based communication subsystem for scalable
+//! commodity servers (Karlsson, Passas, Kotsis, Bilas — IPPS 2007), in Rust,
+//! over a deterministic network simulation.
+//!
+//! MultiEdge is a connection-oriented, kernel-level protocol running on raw
+//! Ethernet frames. It provides:
+//!
+//! * **RDMA-style remote memory operations** — asynchronous remote write and
+//!   remote read into the peer process's virtual address space, with
+//!   completion handles and optional remote notifications
+//!   ([`Endpoint::write`], [`Endpoint::read`], [`OpHandle`]).
+//! * **End-to-end flow control and reliability** — fixed-size sliding window
+//!   counted in frames, positive acks piggybacked on every data frame,
+//!   delayed explicit acks, NACK-driven selective retransmission, and a
+//!   coarse retransmission timeout ([`ProtoConfig`]).
+//! * **Spatial parallelism** — transparent frame-level striping of a single
+//!   connection across multiple physical links with round-robin scheduling
+//!   ([`SchedPolicy`]), plus the paper's novel ordering API: per-operation
+//!   **backward** and **forward fences** that let applications permit
+//!   out-of-order delivery wherever safe ([`OpFlags`]).
+//! * **Interrupt minimization** — receive/transmit events arriving while the
+//!   protocol thread is active are absorbed by polling; only events that find
+//!   it idle pay interrupt cost (§2.6 of the paper).
+//!
+//! # Quick start
+//!
+//! ```
+//! use multiedge::{Endpoint, OpFlags, SystemConfig};
+//! use netsim::{build_cluster, Sim};
+//! use std::rc::Rc;
+//!
+//! let cfg = Rc::new(SystemConfig::one_link_1g(2));
+//! let sim = Sim::new(1);
+//! let cluster = build_cluster(&sim, cfg.cluster_spec());
+//! let eps = Endpoint::for_cluster(&sim, &cluster, cfg);
+//! let (c0, _c1) = Endpoint::connect(&eps[0], &eps[1]);
+//!
+//! let a = eps[0].clone();
+//! sim.spawn("writer", async move {
+//!     let h = a.write_bytes(c0, 0x1000, b"hello".to_vec(), OpFlags::RELAXED).await;
+//!     h.wait().await;
+//! });
+//! sim.run().expect_quiescent();
+//! assert_eq!(eps[1].mem_read(0x1000, 5), b"hello");
+//! ```
+
+pub mod config;
+pub mod endpoint;
+pub mod memory;
+pub mod ops;
+pub mod order;
+pub mod recvseq;
+pub mod sched;
+pub mod seqspace;
+pub mod stats;
+pub mod striping;
+
+pub use config::{CostModel, ProtoConfig, SystemConfig};
+pub use endpoint::Endpoint;
+pub use memory::{AppMemory, PAGE_SIZE};
+pub use ops::{Notification, OpFlags, OpHandle, OpKind};
+pub use sched::{LinkScheduler, SchedPolicy};
+pub use stats::{CpuSnapshot, ProtoStats};

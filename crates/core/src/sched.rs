@@ -1,0 +1,138 @@
+//! Link scheduling for spatial parallelism (§2.5).
+//!
+//! "Whenever a frame needs to be transmitted, MultiEdge will use one of the
+//! available network interfaces based on a load-balancing policy. We
+//! currently use a round-robin policy." — the paper's policy is
+//! [`SchedPolicy::RoundRobin`]; the alternatives exist for the scheduling
+//! ablation bench.
+
+use netsim::{Dur, Network, NicId};
+
+/// Which link-selection policy a connection uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// The paper's policy: cycle through the rails frame by frame.
+    #[default]
+    RoundRobin,
+    /// Uniformly random rail per frame.
+    Random,
+    /// Pick the rail whose transmit queue has the least backlog, breaking
+    /// ties round-robin.
+    ShortestQueue,
+    /// Pin all traffic to one rail (degenerates to a 1L setup).
+    Single(usize),
+}
+
+/// Per-connection scheduler state.
+#[derive(Debug, Clone)]
+pub struct LinkScheduler {
+    policy: SchedPolicy,
+    cursor: usize,
+}
+
+impl LinkScheduler {
+    /// New scheduler with the given policy.
+    pub fn new(policy: SchedPolicy) -> Self {
+        Self { policy, cursor: 0 }
+    }
+
+    /// Pick the rail for the next frame. `nics` are the local NICs, one per
+    /// rail; `backlog` may be consulted for queue-aware policies.
+    pub fn pick(
+        &mut self,
+        nics: &[NicId],
+        net: &Network,
+        rng_draw: impl FnOnce(usize) -> usize,
+    ) -> usize {
+        debug_assert!(!nics.is_empty());
+        match self.policy {
+            SchedPolicy::RoundRobin => {
+                let r = self.cursor % nics.len();
+                self.cursor = (self.cursor + 1) % nics.len();
+                r
+            }
+            SchedPolicy::Random => rng_draw(nics.len()),
+            SchedPolicy::ShortestQueue => {
+                let mut best = self.cursor % nics.len();
+                let mut best_backlog = Dur(u64::MAX);
+                for off in 0..nics.len() {
+                    let i = (self.cursor + off) % nics.len();
+                    let b = net.nic_tx_backlog(nics[i]);
+                    if b < best_backlog {
+                        best_backlog = b;
+                        best = i;
+                    }
+                }
+                self.cursor = (best + 1) % nics.len();
+                best
+            }
+            SchedPolicy::Single(i) => i.min(nics.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frame::MacAddr;
+    use netsim::{ChannelParams, FaultModel, Sim};
+
+    fn net_with_nics(n: usize) -> (Network, Vec<NicId>) {
+        let sim = Sim::new(0);
+        let net = Network::new(&sim, FaultModel::default());
+        let sw = net.add_switch(netsim::time::us(1));
+        let nics: Vec<_> = (0..n)
+            .map(|i| {
+                let nic = net.add_nic(MacAddr::new(0, i as u8));
+                net.connect(nic, sw, ChannelParams::gbe_1());
+                nic
+            })
+            .collect();
+        (net, nics)
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let (net, nics) = net_with_nics(3);
+        let mut s = LinkScheduler::new(SchedPolicy::RoundRobin);
+        let picks: Vec<_> = (0..7).map(|_| s.pick(&nics, &net, |_| 0)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn single_pins_and_clamps() {
+        let (net, nics) = net_with_nics(2);
+        let mut s = LinkScheduler::new(SchedPolicy::Single(1));
+        assert_eq!(s.pick(&nics, &net, |_| 0), 1);
+        let mut s = LinkScheduler::new(SchedPolicy::Single(9));
+        assert_eq!(s.pick(&nics, &net, |_| 0), 1);
+    }
+
+    #[test]
+    fn random_uses_draw() {
+        let (net, nics) = net_with_nics(4);
+        let mut s = LinkScheduler::new(SchedPolicy::Random);
+        assert_eq!(s.pick(&nics, &net, |n| n - 1), 3);
+    }
+
+    #[test]
+    fn shortest_queue_prefers_idle_link() {
+        let (net, nics) = net_with_nics(2);
+        let mut s = LinkScheduler::new(SchedPolicy::ShortestQueue);
+        // Both idle: first pick takes rail 0, advancing the cursor.
+        assert_eq!(s.pick(&nics, &net, |_| 0), 0);
+        // Load rail 1 heavily by sending frames on it directly.
+        for _ in 0..5 {
+            let f = frame::Frame {
+                src: MacAddr::new(0, 1),
+                dst: MacAddr::new(0, 0),
+                header: frame::FrameHeader::default(),
+                payload: bytes::Bytes::from(vec![0u8; 1400]),
+            };
+            net.nic_send(nics[1], f);
+        }
+        // Rail 0 is idle, rail 1 backlogged: always rail 0 now.
+        assert_eq!(s.pick(&nics, &net, |_| 0), 0);
+        assert_eq!(s.pick(&nics, &net, |_| 0), 0);
+    }
+}

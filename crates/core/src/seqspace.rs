@@ -1,0 +1,74 @@
+//! Sequence-number spaces.
+//!
+//! On the wire, MultiEdge carries 32-bit frame sequence numbers and operation
+//! ids that wrap. Internally the protocol uses unbounded `u64` counters and
+//! reconstructs the full value from the 32-bit wire field relative to a local
+//! reference — unambiguous as long as the sender never has more than 2^31
+//! frames in flight, which the fixed-size window guarantees by a huge margin.
+
+/// Truncate an internal 64-bit sequence to its 32-bit wire form.
+pub fn to_wire(seq: u64) -> u32 {
+    seq as u32
+}
+
+/// Reconstruct the full 64-bit sequence closest to `reference` that has the
+/// given 32-bit wire form.
+///
+/// Picks the candidate within ±2^31 of `reference`, so values slightly
+/// *behind* the reference (duplicates, stale acks) reconstruct correctly too.
+pub fn from_wire(reference: u64, wire: u32) -> u64 {
+    let ref_wire = reference as u32;
+    let delta = wire.wrapping_sub(ref_wire);
+    if delta < (1 << 31) {
+        // wire is ahead of (or equal to) the reference.
+        reference + delta as u64
+    } else {
+        // wire is behind the reference.
+        let back = (u32::MAX - delta) as u64 + 1;
+        reference.saturating_sub(back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_near_reference() {
+        for r in [0u64, 5, 1000, u32::MAX as u64, (u32::MAX as u64) * 3 + 17] {
+            for d in 0..10u64 {
+                let s = r + d;
+                assert_eq!(from_wire(r, to_wire(s)), s, "ahead r={r} d={d}");
+            }
+            for d in 0..10u64 {
+                let s = r.saturating_sub(d);
+                assert_eq!(from_wire(r, to_wire(s)), s, "behind r={r} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn across_wire_wrap() {
+        // Internal sequence crossing the 32-bit boundary.
+        let r = (1u64 << 32) - 3;
+        for s in (r - 5)..(r + 5) {
+            assert_eq!(from_wire(r, to_wire(s)), s);
+        }
+    }
+
+    #[test]
+    fn window_sized_offsets() {
+        let r = 7_000_000_000u64;
+        // A full window ahead and behind still reconstructs.
+        for off in [1u64, 256, 65_536, 1 << 20] {
+            assert_eq!(from_wire(r, to_wire(r + off)), r + off);
+            assert_eq!(from_wire(r, to_wire(r - off)), r - off);
+        }
+    }
+
+    #[test]
+    fn saturates_below_zero() {
+        // A wire value "behind" reference 0 cannot go negative.
+        assert_eq!(from_wire(0, u32::MAX), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Protocol statistics.
+//!
+//! The paper's evaluation is largely about network-level behaviour: the
+//! fraction of frames arriving out of order, the extra traffic added by
+//! explicit acknowledgements and retransmissions, the fraction of frames
+//! that cause interrupts, and the CPU time spent in the protocol. Every
+//! counter needed for Figures 2–6 lives here.
+
+use netsim::Dur;
+
+/// Per-node (and aggregable) protocol counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtoStats {
+    /// Remote-write operations issued.
+    pub ops_write: u64,
+    /// Remote-read operations issued.
+    pub ops_read: u64,
+    /// Payload bytes carried by issued writes.
+    pub bytes_written: u64,
+    /// Payload bytes requested by issued reads.
+    pub bytes_read: u64,
+
+    /// Data-bearing frames sent first time (writes, read responses).
+    pub data_frames_sent: u64,
+    /// Payload bytes in those frames.
+    pub data_bytes_sent: u64,
+    /// Read-request frames sent.
+    pub read_req_frames_sent: u64,
+    /// Explicit (non-piggybacked) positive acknowledgements sent.
+    pub explicit_acks_sent: u64,
+    /// Negative acknowledgements sent.
+    pub nacks_sent: u64,
+    /// Frames retransmitted due to a NACK.
+    pub retransmits_nack: u64,
+    /// Frames retransmitted by the coarse timeout.
+    pub retransmits_rto: u64,
+
+    /// Data-bearing frames received (first copies only).
+    pub data_frames_recv: u64,
+    /// Control frames received (ACK/NACK).
+    pub ctrl_frames_recv: u64,
+    /// Duplicate frames received (unnecessary retransmissions).
+    pub dup_frames_recv: u64,
+    /// Frames whose sequence was not the next expected at arrival — the
+    /// paper's out-of-order metric.
+    pub ooo_arrivals: u64,
+    /// Frames discarded because they arrived damaged (checksum).
+    pub corrupt_frames: u64,
+
+    /// Receive events that raised an interrupt (protocol thread was idle).
+    pub rx_interrupts: u64,
+    /// Receive events absorbed by polling (protocol thread already active).
+    pub rx_coalesced: u64,
+    /// Transmit completions that raised an interrupt.
+    pub tx_interrupts: u64,
+    /// Transmit completions absorbed by polling.
+    pub tx_coalesced: u64,
+
+    /// Completion notifications delivered to the application.
+    pub notifications: u64,
+    /// Peak number of fragments buffered for fence reasons.
+    pub reorder_peak: u64,
+}
+
+impl ProtoStats {
+    /// Sum two stat blocks (for cluster-wide aggregation).
+    pub fn merge(&mut self, o: &ProtoStats) {
+        self.ops_write += o.ops_write;
+        self.ops_read += o.ops_read;
+        self.bytes_written += o.bytes_written;
+        self.bytes_read += o.bytes_read;
+        self.data_frames_sent += o.data_frames_sent;
+        self.data_bytes_sent += o.data_bytes_sent;
+        self.read_req_frames_sent += o.read_req_frames_sent;
+        self.explicit_acks_sent += o.explicit_acks_sent;
+        self.nacks_sent += o.nacks_sent;
+        self.retransmits_nack += o.retransmits_nack;
+        self.retransmits_rto += o.retransmits_rto;
+        self.data_frames_recv += o.data_frames_recv;
+        self.ctrl_frames_recv += o.ctrl_frames_recv;
+        self.dup_frames_recv += o.dup_frames_recv;
+        self.ooo_arrivals += o.ooo_arrivals;
+        self.corrupt_frames += o.corrupt_frames;
+        self.rx_interrupts += o.rx_interrupts;
+        self.rx_coalesced += o.rx_coalesced;
+        self.tx_interrupts += o.tx_interrupts;
+        self.tx_coalesced += o.tx_coalesced;
+        self.notifications += o.notifications;
+        self.reorder_peak = self.reorder_peak.max(o.reorder_peak);
+    }
+
+    /// Total retransmitted frames.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits_nack + self.retransmits_rto
+    }
+
+    /// "Extra frames" as the paper defines them: explicit ACKs, NACKs and
+    /// retransmissions, as a fraction of data frames sent.
+    pub fn extra_frame_fraction(&self) -> f64 {
+        if self.data_frames_sent == 0 {
+            return 0.0;
+        }
+        (self.explicit_acks_sent + self.nacks_sent + self.retransmits()) as f64
+            / self.data_frames_sent as f64
+    }
+
+    /// Fraction of received data frames that arrived out of order.
+    pub fn ooo_fraction(&self) -> f64 {
+        if self.data_frames_recv == 0 {
+            return 0.0;
+        }
+        self.ooo_arrivals as f64 / self.data_frames_recv as f64
+    }
+
+    /// Fraction of receive-path events that raised an interrupt (the
+    /// complement of the coalescing win).
+    pub fn rx_interrupt_fraction(&self) -> f64 {
+        let total = self.rx_interrupts + self.rx_coalesced;
+        if total == 0 {
+            return 0.0;
+        }
+        self.rx_interrupts as f64 / total as f64
+    }
+
+    /// Fraction of transmit completions that raised an interrupt.
+    pub fn tx_interrupt_fraction(&self) -> f64 {
+        let total = self.tx_interrupts + self.tx_coalesced;
+        if total == 0 {
+            return 0.0;
+        }
+        self.tx_interrupts as f64 / total as f64
+    }
+}
+
+/// CPU accounting snapshot for one node.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuSnapshot {
+    /// Busy time of the application CPU (syscalls, copies, op initiation).
+    pub app_busy: Dur,
+    /// Busy time of the protocol CPU (interrupts, receive path, timers).
+    pub proto_busy: Dur,
+}
+
+impl CpuSnapshot {
+    /// Combined utilization out of 2.0 (the paper plots out of 200%).
+    pub fn utilization_of_two(&self, elapsed: Dur) -> f64 {
+        if elapsed.as_nanos() == 0 {
+            return 0.0;
+        }
+        (self.app_busy.as_nanos() + self.proto_busy.as_nanos()) as f64
+            / elapsed.as_nanos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions() {
+        let s = ProtoStats {
+            data_frames_sent: 100,
+            explicit_acks_sent: 3,
+            nacks_sent: 1,
+            retransmits_nack: 1,
+            retransmits_rto: 0,
+            data_frames_recv: 50,
+            ooo_arrivals: 25,
+            rx_interrupts: 10,
+            rx_coalesced: 40,
+            ..Default::default()
+        };
+        assert!((s.extra_frame_fraction() - 0.05).abs() < 1e-12);
+        assert!((s.ooo_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.rx_interrupt_fraction() - 0.2).abs() < 1e-12);
+        assert_eq!(s.retransmits(), 1);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let s = ProtoStats::default();
+        assert_eq!(s.extra_frame_fraction(), 0.0);
+        assert_eq!(s.ooo_fraction(), 0.0);
+        assert_eq!(s.rx_interrupt_fraction(), 0.0);
+        assert_eq!(s.tx_interrupt_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = ProtoStats {
+            data_frames_sent: 10,
+            reorder_peak: 5,
+            ..Default::default()
+        };
+        let b = ProtoStats {
+            data_frames_sent: 7,
+            reorder_peak: 9,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.data_frames_sent, 17);
+        assert_eq!(a.reorder_peak, 9);
+    }
+
+    #[test]
+    fn cpu_utilization_of_two() {
+        let c = CpuSnapshot {
+            app_busy: netsim::time::us(50),
+            proto_busy: netsim::time::us(100),
+        };
+        assert!((c.utilization_of_two(netsim::time::us(100)) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,112 @@
+//! Byte-level striping baseline (the paper's foil, §1).
+//!
+//! Before decoupled spatial parallelism, multi-link systems sliced a single
+//! data unit byte-wise across tightly-synchronized links: "A single data
+//! unit sliced in bytes, is transmitted over multiple physical links that
+//! are tightly controlled by the sender and the receiver. However, as the
+//! number of links increases, it becomes difficult to control the links
+//! tightly."
+//!
+//! [`ByteStriper`] models that scheme analytically: each data unit of `u`
+//! bytes is split into `k` equal slices, one per link; the unit completes at
+//! the *slowest* slice, and per-unit synchronization costs a fixed overhead
+//! per link. Link-speed skew (e.g. one degraded rail) therefore stalls
+//! everything, whereas MultiEdge's frame-level striping just sees that rail
+//! deliver fewer frames. The `ablation_striping` bench compares the two.
+
+use netsim::time::Dur;
+
+/// Analytical model of tightly-coupled byte-level striping.
+#[derive(Debug, Clone)]
+pub struct ByteStriper {
+    /// Per-link bandwidth in bytes/s.
+    pub link_bytes_per_sec: Vec<f64>,
+    /// Per-unit, per-link synchronization overhead (descriptor exchange,
+    /// slice header, barrier between sender and receiver engines).
+    pub sync_overhead: Dur,
+    /// Byte overhead per slice (slice framing).
+    pub per_slice_overhead: usize,
+}
+
+impl ByteStriper {
+    /// `k` identical links of `bytes_per_sec` each.
+    pub fn uniform(k: usize, bytes_per_sec: f64, sync_overhead: Dur) -> Self {
+        Self {
+            link_bytes_per_sec: vec![bytes_per_sec; k],
+            sync_overhead,
+            per_slice_overhead: 8,
+        }
+    }
+
+    /// Number of links.
+    pub fn links(&self) -> usize {
+        self.link_bytes_per_sec.len()
+    }
+
+    /// Time to transfer one `unit_bytes` data unit: slices finish in
+    /// parallel, the unit completes at the slowest slice plus the
+    /// synchronization overhead (charged once per unit, growing with the
+    /// link count — the "tight control" cost).
+    pub fn unit_time(&self, unit_bytes: usize) -> Dur {
+        let k = self.links().max(1);
+        let slice = unit_bytes.div_ceil(k) + self.per_slice_overhead;
+        let slowest = self
+            .link_bytes_per_sec
+            .iter()
+            .map(|&bw| Dur::for_bytes(slice, bw))
+            .max()
+            .unwrap_or(Dur::ZERO);
+        slowest + self.sync_overhead * k as u64
+    }
+
+    /// Steady-state throughput in bytes/s for back-to-back units of
+    /// `unit_bytes`.
+    pub fn throughput(&self, unit_bytes: usize) -> f64 {
+        let t = self.unit_time(unit_bytes);
+        if t == Dur::ZERO {
+            return 0.0;
+        }
+        unit_bytes as f64 / t.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::time::us;
+
+    #[test]
+    fn uniform_links_split_evenly() {
+        let s = ByteStriper::uniform(2, 125e6, Dur::ZERO);
+        let one = ByteStriper::uniform(1, 125e6, Dur::ZERO);
+        // Two links ≈ 2× the throughput of one when sync is free.
+        let r2 = s.throughput(1_000_000);
+        let r1 = one.throughput(1_000_000);
+        assert!(r2 / r1 > 1.9 && r2 / r1 < 2.1, "got ratio {}", r2 / r1);
+    }
+
+    #[test]
+    fn sync_overhead_erodes_scaling_with_link_count() {
+        // With per-unit sync, going from 2 to 8 links on small units hurts.
+        let unit = 4096;
+        let t2 = ByteStriper::uniform(2, 125e6, us(2)).throughput(unit);
+        let t8 = ByteStriper::uniform(8, 125e6, us(2)).throughput(unit);
+        assert!(
+            t8 < t2 * 2.0,
+            "8 links should not be 4x better on small units: t2={t2} t8={t8}"
+        );
+    }
+
+    #[test]
+    fn skewed_link_stalls_the_unit() {
+        // One link at 10% speed: the whole unit runs at the slow slice.
+        let mut s = ByteStriper::uniform(4, 125e6, Dur::ZERO);
+        s.link_bytes_per_sec[3] = 12.5e6;
+        let healthy = ByteStriper::uniform(4, 125e6, Dur::ZERO);
+        let ratio = s.throughput(100_000) / healthy.throughput(100_000);
+        assert!(
+            ratio < 0.15,
+            "a 10% link should drag the unit to ~10%: ratio {ratio}"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Shared address-space layout.
+//!
+//! GeNIMA is an SPMD system: every node maps the shared heap at the same
+//! virtual address, so a page's address is also its address at the home node
+//! (diffs are RDMA-written to the *same* address at the home). Control
+//! messages travel through per-sender mailbox rings in a reserved high
+//! region; a remote write + notification into a mailbox is the only control
+//! channel, mirroring GeNIMA's "no asynchronous protocol processing" design.
+
+use multiedge::PAGE_SIZE;
+
+/// Base virtual address of the shared heap.
+pub const HEAP_BASE: u64 = 0x0000_1000_0000;
+
+/// Base of the mailbox region (far above any heap allocation).
+pub const MAILBOX_BASE: u64 = 0x7000_0000_0000;
+
+/// Bytes per mailbox slot (one control message).
+pub const SLOT_SIZE: u64 = 64 * 1024;
+
+/// Slots per sender ring.
+pub const RING_SLOTS: u64 = 16;
+
+/// Bytes of mailbox address space reserved per sender.
+pub const MAILBOX_STRIDE: u64 = SLOT_SIZE * RING_SLOTS;
+
+/// Page number containing `addr`.
+pub fn page_of(addr: u64) -> u64 {
+    addr / PAGE_SIZE as u64
+}
+
+/// First address of `page`.
+pub fn page_addr(page: u64) -> u64 {
+    page * PAGE_SIZE as u64
+}
+
+/// Inclusive page range covering `[addr, addr + len)`.
+pub fn pages_covering(addr: u64, len: usize) -> std::ops::RangeInclusive<u64> {
+    if len == 0 {
+        return page_of(addr)..=page_of(addr);
+    }
+    page_of(addr)..=page_of(addr + len as u64 - 1)
+}
+
+/// Home node of `page` (block-cyclic page placement, the GeNIMA default).
+pub fn home_of(page: u64, nodes: usize) -> usize {
+    (page % nodes as u64) as usize
+}
+
+/// Mailbox slot address at the *receiver* for messages from `sender`,
+/// ring-indexed by the sender's message counter.
+pub fn mailbox_slot(sender: usize, counter: u64) -> u64 {
+    MAILBOX_BASE + sender as u64 * MAILBOX_STRIDE + (counter % RING_SLOTS) * SLOT_SIZE
+}
+
+/// Is `addr` inside the mailbox region?
+pub fn is_mailbox(addr: u64) -> bool {
+    addr >= MAILBOX_BASE
+}
+
+/// Deterministic SPMD bump allocator: every node makes the same sequence of
+/// allocations, so all nodes agree on every address without communication.
+#[derive(Debug, Clone)]
+pub struct HeapAllocator {
+    next: u64,
+}
+
+impl Default for HeapAllocator {
+    fn default() -> Self {
+        Self { next: HEAP_BASE }
+    }
+}
+
+impl HeapAllocator {
+    /// Fresh allocator at the heap base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate `bytes`, page-aligned (avoids false sharing between
+    /// allocations; sharing *within* one array is the interesting part).
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let addr = self.next;
+        let sz = bytes.div_ceil(PAGE_SIZE as u64).max(1) * PAGE_SIZE as u64;
+        self.next += sz;
+        assert!(
+            self.next < MAILBOX_BASE,
+            "shared heap exhausted ({} bytes allocated)",
+            self.next - HEAP_BASE
+        );
+        addr
+    }
+
+    /// Bytes allocated so far (footprint accounting, Table 1).
+    pub fn allocated(&self) -> u64 {
+        self.next - HEAP_BASE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_math() {
+        assert_eq!(page_of(0), 0);
+        assert_eq!(page_of(4095), 0);
+        assert_eq!(page_of(4096), 1);
+        assert_eq!(page_addr(3), 12288);
+        assert_eq!(pages_covering(4090, 10), 0..=1);
+        assert_eq!(pages_covering(4096, 4096), 1..=1);
+        assert_eq!(pages_covering(100, 0), 0..=0);
+    }
+
+    #[test]
+    fn homes_cycle() {
+        assert_eq!(home_of(0, 4), 0);
+        assert_eq!(home_of(5, 4), 1);
+        assert_eq!(home_of(7, 4), 3);
+    }
+
+    #[test]
+    fn allocator_is_page_aligned_and_deterministic() {
+        let mut a = HeapAllocator::new();
+        let mut b = HeapAllocator::new();
+        for bytes in [1u64, 4096, 10_000, 0] {
+            let x = a.alloc(bytes.max(1));
+            let y = b.alloc(bytes.max(1));
+            assert_eq!(x, y);
+            assert_eq!(x % PAGE_SIZE as u64, 0);
+        }
+        assert!(a.allocated() >= 4096 * 4);
+    }
+
+    #[test]
+    fn mailbox_slots_ring() {
+        let s0 = mailbox_slot(3, 0);
+        let s1 = mailbox_slot(3, 1);
+        assert_eq!(s1 - s0, SLOT_SIZE);
+        assert_eq!(mailbox_slot(3, RING_SLOTS), s0, "ring wraps");
+        assert!(is_mailbox(s0));
+        assert!(!is_mailbox(HEAP_BASE));
+    }
+}

@@ -1,0 +1,64 @@
+//! Per-node DSM statistics feeding the application figures.
+
+/// Counters and time buckets maintained by each [`crate::DsmNode`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DsmStats {
+    /// Modeled application compute time (charged via `compute`).
+    pub compute_ns: u64,
+    /// Time blocked fetching remote pages.
+    pub data_wait_ns: u64,
+    /// Time blocked in lock acquisition, release flushing and barriers.
+    pub sync_ns: u64,
+    /// Remote page fetches issued.
+    pub page_fetches: u64,
+    /// Diff-run RDMA writes issued at releases.
+    pub diff_ops: u64,
+    /// Bytes of diff data shipped to homes.
+    pub diff_bytes: u64,
+    /// Lock acquisitions completed.
+    pub lock_acquires: u64,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// Pages invalidated by write notices.
+    pub invalidations: u64,
+    /// Control messages sent over the wire (mailbox writes).
+    pub ctl_msgs: u64,
+}
+
+impl DsmStats {
+    /// Sum counters (time buckets are summed too; average per node if you
+    /// need per-node views).
+    pub fn merge(&mut self, o: &DsmStats) {
+        self.compute_ns += o.compute_ns;
+        self.data_wait_ns += o.data_wait_ns;
+        self.sync_ns += o.sync_ns;
+        self.page_fetches += o.page_fetches;
+        self.diff_ops += o.diff_ops;
+        self.diff_bytes += o.diff_bytes;
+        self.lock_acquires += o.lock_acquires;
+        self.barriers += o.barriers;
+        self.invalidations += o.invalidations;
+        self.ctl_msgs += o.ctl_msgs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums() {
+        let mut a = DsmStats {
+            compute_ns: 10,
+            page_fetches: 3,
+            ..Default::default()
+        };
+        a.merge(&DsmStats {
+            compute_ns: 5,
+            page_fetches: 1,
+            ..Default::default()
+        });
+        assert_eq!(a.compute_ns, 15);
+        assert_eq!(a.page_fetches, 4);
+    }
+}

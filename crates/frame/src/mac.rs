@@ -1,0 +1,62 @@
+//! Simulated Ethernet addressing.
+//!
+//! Real MultiEdge uses 48-bit MACs; in the simulator an address is the pair
+//! *(node, rail)*: NIC `r` of node `n`. One switch connects NIC `r` of every
+//! node (the paper's "rail" topology: two 1-GbE switches for the 2L setups).
+
+use std::fmt;
+
+/// Address of one NIC: `(node, rail)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr {
+    /// Node index within the cluster.
+    pub node: u16,
+    /// Rail (NIC index within the node); NIC `r` attaches to switch `r`.
+    pub rail: u8,
+}
+
+impl MacAddr {
+    /// Address of NIC `rail` on node `node`.
+    pub const fn new(node: u16, rail: u8) -> Self {
+        Self { node, rail }
+    }
+
+    /// Pack into a `u32` for compact headers: `node << 8 | rail`.
+    pub const fn to_u32(self) -> u32 {
+        ((self.node as u32) << 8) | self.rail as u32
+    }
+
+    /// Inverse of [`MacAddr::to_u32`].
+    pub const fn from_u32(v: u32) -> Self {
+        Self {
+            node: (v >> 8) as u16,
+            rail: (v & 0xff) as u8,
+        }
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}r{}", self.node, self.rail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_round_trip() {
+        for node in [0u16, 1, 15, 255, 1000] {
+            for rail in [0u8, 1, 3, 255] {
+                let m = MacAddr::new(node, rail);
+                assert_eq!(MacAddr::from_u32(m.to_u32()), m);
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(MacAddr::new(3, 1).to_string(), "n3r1");
+    }
+}

@@ -1,0 +1,88 @@
+//! Host CPU cost accounting.
+//!
+//! The paper dedicates one CPU per node to the application and one to the
+//! communication protocol (§3). A [`CpuTimeline`] serializes work on one such
+//! CPU: each charge starts no earlier than the previous charge finished, and
+//! the total busy time is accumulated so utilization can be reported
+//! (Figure 2c plots protocol CPU utilization out of 200% for the two CPUs).
+
+use crate::time::{Dur, SimTime};
+
+/// A single simulated CPU: serialized work, busy-time accounting.
+#[derive(Debug, Default, Clone)]
+pub struct CpuTimeline {
+    /// Earliest instant new work can start.
+    avail: SimTime,
+    /// Accumulated busy nanoseconds.
+    busy: Dur,
+}
+
+impl CpuTimeline {
+    /// Fresh idle CPU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserve `cost` of CPU starting no earlier than `now`. Returns the
+    /// `(start, end)` of the reserved slot and records the busy time.
+    pub fn reserve(&mut self, now: SimTime, cost: Dur) -> (SimTime, SimTime) {
+        let start = now.max(self.avail);
+        let end = start + cost;
+        self.avail = end;
+        self.busy += cost;
+        (start, end)
+    }
+
+    /// Record busy time without serializing (used for costs already placed
+    /// in time by the caller, e.g. interrupt handler slices).
+    pub fn account(&mut self, cost: Dur) {
+        self.busy += cost;
+    }
+
+    /// When the CPU next becomes free.
+    pub fn available_at(&self) -> SimTime {
+        self.avail
+    }
+
+    /// Total busy time so far.
+    pub fn busy_time(&self) -> Dur {
+        self.busy
+    }
+
+    /// Utilization over `[0, elapsed]` as a fraction (may exceed 1.0 only by
+    /// rounding; clamped).
+    pub fn utilization(&self, elapsed: Dur) -> f64 {
+        if elapsed.as_nanos() == 0 {
+            return 0.0;
+        }
+        (self.busy.as_nanos() as f64 / elapsed.as_nanos() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::us;
+
+    #[test]
+    fn serializes_overlapping_work() {
+        let mut cpu = CpuTimeline::new();
+        let (s1, e1) = cpu.reserve(SimTime(0), us(10));
+        assert_eq!((s1, e1), (SimTime(0), SimTime(10_000)));
+        // Submitted "now" at t=2us but the CPU is busy until 10us.
+        let (s2, e2) = cpu.reserve(SimTime(2_000), us(5));
+        assert_eq!((s2, e2), (SimTime(10_000), SimTime(15_000)));
+        // Submitted after the CPU went idle.
+        let (s3, _) = cpu.reserve(SimTime(20_000), us(1));
+        assert_eq!(s3, SimTime(20_000));
+        assert_eq!(cpu.busy_time(), us(16));
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut cpu = CpuTimeline::new();
+        cpu.reserve(SimTime(0), us(25));
+        assert!((cpu.utilization(us(100)) - 0.25).abs() < 1e-9);
+        assert_eq!(cpu.utilization(Dur::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! The discrete-event engine and its cooperative task executor.
+//!
+//! A [`Sim`] owns a priority queue of events keyed by `(time, sequence)`.
+//! Events are either boxed closures (used by the network and protocol state
+//! machines) or *task polls*. Tasks are ordinary Rust futures driven by a
+//! bespoke single-threaded executor: every leaf future in this workspace
+//! ([`crate::sync::Delay`], [`crate::sync::Flag`], …) registers the task that
+//! polled it with a simulator event, and event completion schedules a re-poll.
+//! There are no OS threads and no real wakers, so a run is bit-for-bit
+//! deterministic for a given seed.
+//!
+//! The paper's "application CPU vs. protocol CPU" split maps onto this:
+//! application code runs in tasks; protocol processing runs in event closures
+//! whose costs are charged to the node's second CPU (see
+//! [`crate::cpu::CpuTimeline`]).
+
+use crate::time::{Dur, SimTime};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Identifier of a spawned task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(usize);
+
+type EventFn = Box<dyn FnOnce(&Sim)>;
+
+enum What {
+    Call(EventFn),
+    Poll(TaskId),
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    what: What,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    // Reverse order: BinaryHeap is a max-heap, we want the earliest first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct Task {
+    future: Pin<Box<dyn Future<Output = ()>>>,
+    name: String,
+    /// A poll event is already queued; avoids redundant polls.
+    poll_queued: bool,
+}
+
+struct SimInner {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled>,
+    tasks: Vec<Option<Task>>,
+    live_tasks: usize,
+    current_task: Option<TaskId>,
+    rng: SmallRng,
+    events_executed: u64,
+}
+
+/// Outcome of [`Sim::run`].
+#[derive(Debug)]
+pub struct RunReport {
+    /// Virtual time when the event queue drained (or the limit fired).
+    pub end_time: SimTime,
+    /// Total events executed.
+    pub events: u64,
+    /// Names of tasks that never completed — non-empty means deadlock (a
+    /// task is waiting on an event nobody will fire).
+    pub stuck_tasks: Vec<String>,
+}
+
+impl RunReport {
+    /// Panic with a readable message if any task never completed.
+    pub fn expect_quiescent(&self) {
+        assert!(
+            self.stuck_tasks.is_empty(),
+            "simulation deadlock: stuck tasks {:?}",
+            self.stuck_tasks
+        );
+    }
+}
+
+/// Handle to the simulator. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<RefCell<SimInner>>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl Sim {
+    /// Fresh simulator with the given RNG seed. Identical seeds yield
+    /// identical runs.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: Rc::new(RefCell::new(SimInner {
+                now: SimTime::ZERO,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                tasks: Vec::new(),
+                live_tasks: 0,
+                current_task: None,
+                rng: SmallRng::seed_from_u64(seed),
+                events_executed: 0,
+            })),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.borrow().now
+    }
+
+    /// Total events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.inner.borrow().events_executed
+    }
+
+    /// Schedule `f` to run at absolute time `at` (clamped to now).
+    pub fn schedule_at(&self, at: SimTime, f: impl FnOnce(&Sim) + 'static) {
+        let mut inner = self.inner.borrow_mut();
+        let at = at.max(inner.now);
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.heap.push(Scheduled {
+            time: at,
+            seq,
+            what: What::Call(Box::new(f)),
+        });
+    }
+
+    /// Schedule `f` to run after `d`.
+    pub fn schedule_in(&self, d: Dur, f: impl FnOnce(&Sim) + 'static) {
+        let at = self.now() + d;
+        self.schedule_at(at, f);
+    }
+
+    /// Run `f` with the simulator RNG.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut SmallRng) -> T) -> T {
+        f(&mut self.inner.borrow_mut().rng)
+    }
+
+    /// The task currently being polled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called outside a task poll — leaf futures are the only
+    /// legitimate callers.
+    pub(crate) fn current_task(&self) -> TaskId {
+        self.inner
+            .borrow()
+            .current_task
+            .expect("current_task() called outside a task poll")
+    }
+
+    /// Queue a re-poll of `task` at the current time. Idempotent while a
+    /// poll is already queued.
+    pub(crate) fn wake_task(&self, task: TaskId) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(slot) = inner.tasks.get_mut(task.0) else {
+            return;
+        };
+        let Some(t) = slot.as_mut() else {
+            return; // already finished
+        };
+        if t.poll_queued {
+            return;
+        }
+        t.poll_queued = true;
+        let (time, seq) = (inner.now, inner.seq);
+        inner.seq += 1;
+        inner.heap.push(Scheduled {
+            time,
+            seq,
+            what: What::Poll(task),
+        });
+    }
+
+    /// Queue a re-poll of `task` at absolute time `at` (used by timers).
+    pub(crate) fn wake_task_at(&self, task: TaskId, at: SimTime) {
+        let mut inner = self.inner.borrow_mut();
+        let at = at.max(inner.now);
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.heap.push(Scheduled {
+            time: at,
+            seq,
+            what: What::Poll(task),
+        });
+    }
+
+    /// Spawn a future as a simulation task; it begins running at the current
+    /// virtual time. Returns a [`crate::sync::JoinHandle`] yielding its output.
+    pub fn spawn<T: 'static>(
+        &self,
+        name: impl Into<String>,
+        fut: impl Future<Output = T> + 'static,
+    ) -> crate::sync::JoinHandle<T> {
+        let flag = crate::sync::Flag::new(self);
+        let cell: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+        let handle = crate::sync::JoinHandle::new(cell.clone(), flag.clone());
+        let wrapper = async move {
+            let out = fut.await;
+            *cell.borrow_mut() = Some(out);
+            flag.fire();
+        };
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            let id = TaskId(inner.tasks.len());
+            inner.tasks.push(Some(Task {
+                future: Box::pin(wrapper),
+                name: name.into(),
+                poll_queued: true,
+            }));
+            inner.live_tasks += 1;
+            let (time, seq) = (inner.now, inner.seq);
+            inner.seq += 1;
+            inner.heap.push(Scheduled {
+                time,
+                seq,
+                what: What::Poll(id),
+            });
+            id
+        };
+        let _ = id;
+        handle
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        // Take the task out so the future can re-borrow the simulator.
+        let mut task = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(slot) = inner.tasks.get_mut(id.0) else {
+                return;
+            };
+            let Some(mut t) = slot.take() else {
+                return;
+            };
+            t.poll_queued = false;
+            inner.current_task = Some(id);
+            t
+        };
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        let poll = task.future.as_mut().poll(&mut cx);
+        let mut inner = self.inner.borrow_mut();
+        inner.current_task = None;
+        match poll {
+            Poll::Ready(()) => {
+                inner.live_tasks -= 1;
+                // slot stays None: task retired
+            }
+            Poll::Pending => {
+                inner.tasks[id.0] = Some(task);
+            }
+        }
+    }
+
+    /// Run until the event queue is empty or virtual time would exceed
+    /// `limit` (if given). Returns a report including any stuck tasks.
+    pub fn run_with_limit(&self, limit: Option<SimTime>) -> RunReport {
+        loop {
+            let next = {
+                let mut inner = self.inner.borrow_mut();
+                match inner.heap.pop() {
+                    None => break,
+                    Some(ev) => {
+                        if let Some(lim) = limit {
+                            if ev.time > lim {
+                                // Push back and stop: caller inspects state.
+                                inner.heap.push(ev);
+                                break;
+                            }
+                        }
+                        inner.now = ev.time;
+                        inner.events_executed += 1;
+                        ev
+                    }
+                }
+            };
+            match next.what {
+                What::Call(f) => f(self),
+                What::Poll(id) => self.poll_task(id),
+            }
+        }
+        let inner = self.inner.borrow();
+        RunReport {
+            end_time: inner.now,
+            events: inner.events_executed,
+            stuck_tasks: inner
+                .tasks
+                .iter()
+                .filter_map(|t| t.as_ref().map(|t| t.name.clone()))
+                .collect(),
+        }
+    }
+
+    /// Run to quiescence (no virtual-time limit).
+    pub fn run(&self) -> RunReport {
+        self.run_with_limit(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::us;
+
+    #[test]
+    fn events_run_in_time_order_with_fifo_ties() {
+        let sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let (a, b, c, d) = (log.clone(), log.clone(), log.clone(), log.clone());
+        sim.schedule_in(us(10), move |_| a.borrow_mut().push(2));
+        sim.schedule_in(us(5), move |_| b.borrow_mut().push(1));
+        sim.schedule_in(us(10), move |_| c.borrow_mut().push(3)); // tie: after first us(10)
+        sim.schedule_in(us(20), move |_| d.borrow_mut().push(4));
+        let report = sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3, 4]);
+        assert_eq!(report.end_time, SimTime::ZERO + us(20));
+        assert_eq!(report.events, 4);
+    }
+
+    #[test]
+    fn nested_scheduling_advances_time() {
+        let sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let l = log.clone();
+        sim.schedule_in(us(1), move |sim| {
+            let l2 = l.clone();
+            l.borrow_mut().push(sim.now().as_nanos());
+            sim.schedule_in(us(2), move |sim| {
+                l2.borrow_mut().push(sim.now().as_nanos());
+            });
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1_000, 3_000]);
+    }
+
+    #[test]
+    fn deterministic_rng() {
+        use rand::Rng;
+        let draws = |seed| {
+            let sim = Sim::new(seed);
+            (0..4)
+                .map(|_| sim.with_rng(|r| r.gen::<u64>()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draws(7), draws(7));
+        assert_ne!(draws(7), draws(8));
+    }
+
+    #[test]
+    fn run_with_limit_stops_before_later_events() {
+        let sim = Sim::new(0);
+        let hit: Rc<RefCell<u32>> = Rc::default();
+        let h = hit.clone();
+        sim.schedule_in(us(100), move |_| *h.borrow_mut() += 1);
+        let report = sim.run_with_limit(Some(SimTime::ZERO + us(10)));
+        assert_eq!(*hit.borrow(), 0);
+        assert!(report.end_time <= SimTime::ZERO + us(10));
+        // The event is still queued and fires on a later unrestricted run.
+        sim.run();
+        assert_eq!(*hit.borrow(), 1);
+    }
+}

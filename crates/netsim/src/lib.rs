@@ -1,0 +1,49 @@
+//! `netsim` — a deterministic discrete-event network simulator.
+//!
+//! This crate is the hardware substrate for the MultiEdge reproduction: it
+//! stands in for the paper's 16-node Opteron cluster, its Broadcom/Myricom
+//! NICs and its D-Link/HP Ethernet switches. Everything above this crate
+//! (the MultiEdge protocol, the DSM, the applications) is a faithful
+//! implementation of the published system; everything inside this crate is a
+//! timing model.
+//!
+//! # Pieces
+//!
+//! * [`Sim`] — event queue + virtual clock + a cooperative, single-threaded
+//!   async task executor ([`Sim::spawn`]). Deterministic for a given seed.
+//! * [`sync`] — futures for simulation tasks: [`sync::sleep`],
+//!   [`sync::Flag`], [`sync::Channel`], [`sync::Semaphore`],
+//!   [`sync::join_all`].
+//! * [`net`] — frame-granular models of links, store-and-forward switches
+//!   and NICs, with bounded queues (congestion loss) and a transient-fault
+//!   model (random loss / corruption).
+//! * [`cpu`] — per-CPU busy-time accounting used to report the paper's
+//!   CPU-utilization figures.
+//! * [`topology`] — the paper's rail-shaped cluster builder.
+//!
+//! # Example
+//!
+//! ```
+//! use netsim::{Sim, sync::sleep, time::us};
+//!
+//! let sim = Sim::new(7);
+//! let s = sim.clone();
+//! let task = sim.spawn("hello", async move {
+//!     sleep(&s, us(10)).await;
+//!     s.now().as_nanos()
+//! });
+//! sim.run().expect_quiescent();
+//! assert_eq!(task.try_take(), Some(10_000));
+//! ```
+
+pub mod cpu;
+pub mod engine;
+pub mod net;
+pub mod sync;
+pub mod time;
+pub mod topology;
+
+pub use engine::{RunReport, Sim, TaskId};
+pub use net::{ChannelParams, FaultModel, NetStats, Network, NicId, RxFrame};
+pub use time::{Dur, SimTime};
+pub use topology::{build_cluster, Cluster, ClusterSpec};

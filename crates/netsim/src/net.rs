@@ -1,0 +1,704 @@
+//! Network component models: channels (unidirectional links), switches, NICs.
+//!
+//! The model is frame-granular and store-and-forward, matching the paper's
+//! D-Link / HP ProCurve Ethernet switches:
+//!
+//! * A **channel** is one direction of a full-duplex link. It serializes
+//!   frames at the link rate (wire time includes preamble, MACs, FCS and
+//!   inter-frame gap via [`frame::Frame::wire_len`]), adds a fixed
+//!   propagation/PHY latency, and bounds the number of frames queued waiting
+//!   for the wire; overflow drops the frame (congestion loss).
+//! * A **switch** receives a full frame, looks up the destination MAC in a
+//!   static table, waits a fixed forwarding delay and retransmits on the
+//!   output port's channel.
+//! * A **NIC** hands received frames to a protocol-layer callback and
+//!   reports transmit completions (the hook the paper's send-path interrupt
+//!   discussion needs).
+//!
+//! Transient faults (§2.4's "contention, bit errors, or transient link
+//! failures") are modeled by a per-hop random loss rate and a corruption
+//! rate; corrupted frames are delivered but flagged, and the receive path
+//! treats them as damaged (checksum failure → NACK).
+
+use crate::engine::Sim;
+use crate::time::{Dur, SimTime};
+use frame::{Frame, MacAddr};
+use rand::Rng;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One direction of a link: bandwidth, fixed latency, bounded queue.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelParams {
+    /// Link rate in bytes per second (1-GbE = 125e6, 10-GbE = 1.25e9).
+    pub bytes_per_sec: f64,
+    /// Propagation plus PHY/DMA latency added after serialization.
+    pub latency: Dur,
+    /// Uniform random extra latency in `[0, jitter)` per frame, modeling
+    /// variable NIC DMA and switch processing time. Delivery stays FIFO
+    /// within one channel, so a single link never reorders; across rails
+    /// the jitter produces the closely-spaced out-of-order arrivals the
+    /// paper measures on multi-link setups.
+    pub jitter: Dur,
+    /// Maximum frames queued awaiting the wire; overflow is dropped.
+    pub queue_cap: usize,
+}
+
+impl ChannelParams {
+    /// 1-Gbit/s Ethernet with defaults used throughout the evaluation.
+    pub fn gbe_1() -> Self {
+        Self {
+            bytes_per_sec: 125e6,
+            latency: crate::time::us_f64(2.0),
+            jitter: crate::time::us_f64(1.0),
+            // Shared-memory commodity switches can dedicate on the order
+            // of a megabyte to a single congested port.
+            queue_cap: 1024,
+        }
+    }
+
+    /// 10-Gbit/s Ethernet.
+    pub fn gbe_10() -> Self {
+        Self {
+            bytes_per_sec: 1.25e9,
+            latency: crate::time::us_f64(2.0),
+            jitter: crate::time::us_f64(1.0),
+            queue_cap: 768,
+        }
+    }
+}
+
+/// Random transient-fault model, applied per channel traversal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultModel {
+    /// Probability a frame is silently lost on a hop.
+    pub loss_rate: f64,
+    /// Probability a frame is delivered with a checksum-violating error.
+    pub corrupt_rate: f64,
+}
+
+/// Identifier of a channel within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelId(usize);
+
+/// Identifier of a switch within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SwitchId(usize);
+
+/// Identifier of a NIC within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NicId(pub usize);
+
+#[derive(Debug, Clone, Copy)]
+enum Endpoint {
+    Switch(SwitchId),
+    Nic(NicId),
+}
+
+/// A frame as delivered to a NIC's receive handler.
+#[derive(Debug, Clone)]
+pub struct RxFrame {
+    /// The frame (payload intact even when corrupted — the corruption flag
+    /// models what the checksum would have caught).
+    pub frame: Frame,
+    /// True if a transient error damaged the frame in flight; the protocol
+    /// layer must discard it and NACK.
+    pub corrupted: bool,
+}
+
+type RxHandler = Rc<dyn Fn(&Sim, RxFrame)>;
+type TxCompleteHandler = Rc<dyn Fn(&Sim, usize)>;
+
+struct ChannelState {
+    params: ChannelParams,
+    to: Endpoint,
+    busy_until: SimTime,
+    /// Frames submitted whose serialization has not yet started.
+    pending: usize,
+    tx_frames: u64,
+    tx_bytes: u64,
+    drop_overflow: u64,
+    drop_loss: u64,
+    corrupted: u64,
+    /// Latest scheduled arrival: enforces FIFO delivery despite jitter.
+    last_arrival: SimTime,
+}
+
+struct SwitchState {
+    forward_delay: Dur,
+    table: HashMap<MacAddr, ChannelId>,
+    drop_unknown: u64,
+}
+
+struct NicState {
+    mac: MacAddr,
+    tx_channel: Option<ChannelId>,
+    rx_handler: Option<RxHandler>,
+    tx_complete: Option<TxCompleteHandler>,
+    rx_frames: u64,
+    tx_submitted: u64,
+}
+
+/// Aggregate counters for a whole network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames dropped because an output queue overflowed (congestion).
+    pub drops_overflow: u64,
+    /// Frames dropped by the random transient-loss process.
+    pub drops_loss: u64,
+    /// Frames delivered with injected corruption.
+    pub corrupted: u64,
+    /// Frames dropped at a switch due to an unknown destination.
+    pub drops_unknown_mac: u64,
+    /// Total frames serialized onto any channel.
+    pub channel_frames: u64,
+    /// Total wire bytes serialized onto any channel.
+    pub channel_bytes: u64,
+}
+
+struct NetInner {
+    channels: Vec<ChannelState>,
+    switches: Vec<SwitchState>,
+    nics: Vec<NicState>,
+    fault: FaultModel,
+}
+
+/// The simulated network: a set of NICs and switches connected by channels.
+#[derive(Clone)]
+pub struct Network {
+    sim: Sim,
+    inner: Rc<RefCell<NetInner>>,
+}
+
+impl Network {
+    /// Empty network attached to `sim`.
+    pub fn new(sim: &Sim, fault: FaultModel) -> Self {
+        Self {
+            sim: sim.clone(),
+            inner: Rc::new(RefCell::new(NetInner {
+                channels: Vec::new(),
+                switches: Vec::new(),
+                nics: Vec::new(),
+                fault,
+            })),
+        }
+    }
+
+    /// Add a switch with the given per-frame forwarding delay.
+    pub fn add_switch(&self, forward_delay: Dur) -> SwitchId {
+        let mut inner = self.inner.borrow_mut();
+        inner.switches.push(SwitchState {
+            forward_delay,
+            table: HashMap::new(),
+            drop_unknown: 0,
+        });
+        SwitchId(inner.switches.len() - 1)
+    }
+
+    /// Add a NIC with Ethernet address `mac`.
+    pub fn add_nic(&self, mac: MacAddr) -> NicId {
+        let mut inner = self.inner.borrow_mut();
+        inner.nics.push(NicState {
+            mac,
+            tx_channel: None,
+            rx_handler: None,
+            tx_complete: None,
+            rx_frames: 0,
+            tx_submitted: 0,
+        });
+        NicId(inner.nics.len() - 1)
+    }
+
+    /// Connect `nic` to `switch` with a full-duplex link (`params` each
+    /// direction) and register the NIC's MAC in the switch table.
+    ///
+    /// The uplink (NIC→switch) queue is effectively unbounded: it models the
+    /// NIC's DMA ring, where the kernel driver backpressures instead of
+    /// dropping. The downlink (switch→NIC) queue is the switch's output
+    /// port buffer, where congestion drops happen.
+    pub fn connect(&self, nic: NicId, switch: SwitchId, params: ChannelParams) {
+        let mut inner = self.inner.borrow_mut();
+        let up_params = ChannelParams {
+            queue_cap: usize::MAX / 2,
+            ..params
+        };
+        let up = ChannelId(inner.channels.len());
+        inner.channels.push(ChannelState {
+            params: up_params,
+            to: Endpoint::Switch(switch),
+            busy_until: SimTime::ZERO,
+            pending: 0,
+            tx_frames: 0,
+            tx_bytes: 0,
+            drop_overflow: 0,
+            drop_loss: 0,
+            corrupted: 0,
+            last_arrival: SimTime::ZERO,
+        });
+        let down = ChannelId(inner.channels.len());
+        inner.channels.push(ChannelState {
+            params,
+            to: Endpoint::Nic(nic),
+            busy_until: SimTime::ZERO,
+            pending: 0,
+            tx_frames: 0,
+            tx_bytes: 0,
+            drop_overflow: 0,
+            drop_loss: 0,
+            corrupted: 0,
+            last_arrival: SimTime::ZERO,
+        });
+        inner.nics[nic.0].tx_channel = Some(up);
+        let mac = inner.nics[nic.0].mac;
+        inner.switches[switch.0].table.insert(mac, down);
+    }
+
+    /// Install the receive callback for `nic` (protocol layer entry point).
+    pub fn set_rx_handler(&self, nic: NicId, h: impl Fn(&Sim, RxFrame) + 'static) {
+        self.inner.borrow_mut().nics[nic.0].rx_handler = Some(Rc::new(h));
+    }
+
+    /// Install the transmit-completion callback for `nic`; invoked with the
+    /// frame's wire length once its serialization onto the link finishes
+    /// (i.e. when the send DMA buffer becomes free).
+    pub fn set_tx_complete_handler(&self, nic: NicId, h: impl Fn(&Sim, usize) + 'static) {
+        self.inner.borrow_mut().nics[nic.0].tx_complete = Some(Rc::new(h));
+    }
+
+    /// MAC address of `nic`.
+    pub fn nic_mac(&self, nic: NicId) -> MacAddr {
+        self.inner.borrow().nics[nic.0].mac
+    }
+
+    /// Submit `f` for transmission on `nic` at the current virtual time.
+    /// Returns `false` if the frame was dropped at the NIC's output queue.
+    pub fn nic_send(&self, nic: NicId, f: Frame) -> bool {
+        let ch = {
+            let mut inner = self.inner.borrow_mut();
+            inner.nics[nic.0].tx_submitted += 1;
+            inner.nics[nic.0]
+                .tx_channel
+                .expect("nic_send on unconnected NIC")
+        };
+        self.channel_transmit(ch, f, Some(nic))
+    }
+
+    /// Serialize `f` onto channel `ch`; `completion_nic` receives the
+    /// tx-complete callback. Returns false on queue-overflow drop.
+    fn channel_transmit(&self, ch: ChannelId, f: Frame, completion_nic: Option<NicId>) -> bool {
+        let now = self.sim.now();
+        let wire_len = f.wire_len();
+        let jitter = self.draw_jitter(ch);
+        let (start, end, arrival, to) = {
+            let mut inner = self.inner.borrow_mut();
+            let c = &mut inner.channels[ch.0];
+            if c.pending >= c.params.queue_cap {
+                c.drop_overflow += 1;
+                return false;
+            }
+            let start = now.max(c.busy_until);
+            let end = start + Dur::for_bytes(wire_len, c.params.bytes_per_sec);
+            c.busy_until = end;
+            let queued = start > now;
+            if queued {
+                c.pending += 1;
+            }
+            c.tx_frames += 1;
+            c.tx_bytes += wire_len as u64;
+            let mut arrival = end + c.params.latency + jitter;
+            // FIFO within a channel: never overtake the previous frame.
+            arrival = arrival.max(c.last_arrival);
+            c.last_arrival = arrival;
+            (if queued { Some(start) } else { None }, end, arrival, c.to)
+        };
+        // Serialization starts: the frame leaves the queue.
+        if let Some(start) = start {
+            let this = self.clone();
+            self.sim.schedule_at(start, move |_| {
+                this.inner.borrow_mut().channels[ch.0].pending -= 1;
+            });
+        }
+        // Transmit completion back to the sending NIC (DMA buffer free).
+        if let Some(nic) = completion_nic {
+            let this = self.clone();
+            self.sim.schedule_at(end, move |sim| {
+                let cb = this.inner.borrow().nics[nic.0].tx_complete.clone();
+                if let Some(cb) = cb {
+                    cb(sim, wire_len);
+                }
+            });
+        }
+        // Arrival at the far end (loss/corruption decided on arrival).
+        let this = self.clone();
+        self.sim.schedule_at(arrival, move |sim| {
+            this.arrive(sim, ch, to, f);
+        });
+        true
+    }
+
+    /// Draw this frame's latency jitter for channel `ch`.
+    fn draw_jitter(&self, ch: ChannelId) -> Dur {
+        let j = self.inner.borrow().channels[ch.0].params.jitter;
+        if j == Dur::ZERO {
+            Dur::ZERO
+        } else {
+            Dur(self.sim.with_rng(|r| r.gen_range(0..j.as_nanos())))
+        }
+    }
+
+    fn arrive(&self, sim: &Sim, ch: ChannelId, to: Endpoint, f: Frame) {
+        let (lost, corrupted) = {
+            let fault = self.inner.borrow().fault;
+            let lost = fault.loss_rate > 0.0 && sim.with_rng(|r| r.gen::<f64>()) < fault.loss_rate;
+            let corrupted = !lost
+                && fault.corrupt_rate > 0.0
+                && sim.with_rng(|r| r.gen::<f64>()) < fault.corrupt_rate;
+            (lost, corrupted)
+        };
+        if lost {
+            self.inner.borrow_mut().channels[ch.0].drop_loss += 1;
+            return;
+        }
+        if corrupted {
+            self.inner.borrow_mut().channels[ch.0].corrupted += 1;
+        }
+        match to {
+            Endpoint::Switch(sw) => {
+                // A corrupted frame is forwarded anyway (our switches do not
+                // verify FCS, like cheap store-and-forward hardware); the
+                // end host's checksum catches it.
+                let (out, delay) = {
+                    let mut inner = self.inner.borrow_mut();
+                    let s = &mut inner.switches[sw.0];
+                    match s.table.get(&f.dst) {
+                        Some(&out) => (out, s.forward_delay),
+                        None => {
+                            s.drop_unknown += 1;
+                            return;
+                        }
+                    }
+                };
+                let this = self.clone();
+                let carry_corrupt = corrupted;
+                sim.schedule_in(delay, move |_| {
+                    // Corruption already counted; re-transmit the (possibly
+                    // damaged) frame unchanged. The corruption marker is
+                    // re-evaluated per hop only for fresh damage; to carry
+                    // the existing damage we piggyback via a tagged send.
+                    if carry_corrupt {
+                        this.channel_transmit_corrupt(out, f);
+                    } else {
+                        this.channel_transmit(out, f, None);
+                    }
+                });
+            }
+            Endpoint::Nic(nic) => {
+                let handler = {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.nics[nic.0].rx_frames += 1;
+                    inner.nics[nic.0].rx_handler.clone()
+                };
+                if let Some(h) = handler {
+                    h(sim, RxFrame { frame: f, corrupted });
+                }
+            }
+        }
+    }
+
+    /// Like [`Self::channel_transmit`] but the frame is already damaged; it
+    /// stays damaged through delivery.
+    fn channel_transmit_corrupt(&self, ch: ChannelId, f: Frame) {
+        let now = self.sim.now();
+        let wire_len = f.wire_len();
+        let jitter = self.draw_jitter(ch);
+        let (start, arrival, to) = {
+            let mut inner = self.inner.borrow_mut();
+            let c = &mut inner.channels[ch.0];
+            if c.pending >= c.params.queue_cap {
+                c.drop_overflow += 1;
+                return;
+            }
+            let start = now.max(c.busy_until);
+            let end = start + Dur::for_bytes(wire_len, c.params.bytes_per_sec);
+            c.busy_until = end;
+            let queued = start > now;
+            if queued {
+                c.pending += 1;
+            }
+            c.tx_frames += 1;
+            c.tx_bytes += wire_len as u64;
+            let mut arrival = end + c.params.latency + jitter;
+            arrival = arrival.max(c.last_arrival);
+            c.last_arrival = arrival;
+            (if queued { Some(start) } else { None }, arrival, c.to)
+        };
+        if let Some(start) = start {
+            let this = self.clone();
+            self.sim.schedule_at(start, move |_| {
+                this.inner.borrow_mut().channels[ch.0].pending -= 1;
+            });
+        }
+        let this = self.clone();
+        self.sim.schedule_at(arrival, move |sim| match to {
+            Endpoint::Nic(nic) => {
+                let handler = {
+                    let mut inner = this.inner.borrow_mut();
+                    inner.nics[nic.0].rx_frames += 1;
+                    inner.nics[nic.0].rx_handler.clone()
+                };
+                if let Some(h) = handler {
+                    h(
+                        sim,
+                        RxFrame {
+                            frame: f,
+                            corrupted: true,
+                        },
+                    );
+                }
+            }
+            Endpoint::Switch(_) => {
+                // Multi-switch paths re-enter the normal path; keep damaged.
+                this.arrive_corrupt(sim, to, f);
+            }
+        });
+    }
+
+    fn arrive_corrupt(&self, sim: &Sim, to: Endpoint, f: Frame) {
+        if let Endpoint::Switch(sw) = to {
+            let (out, delay) = {
+                let mut inner = self.inner.borrow_mut();
+                let s = &mut inner.switches[sw.0];
+                match s.table.get(&f.dst) {
+                    Some(&out) => (out, s.forward_delay),
+                    None => {
+                        s.drop_unknown += 1;
+                        return;
+                    }
+                }
+            };
+            let this = self.clone();
+            sim.schedule_in(delay, move |_| this.channel_transmit_corrupt(out, f));
+        }
+    }
+
+    /// Aggregate network statistics.
+    pub fn stats(&self) -> NetStats {
+        let inner = self.inner.borrow();
+        let mut s = NetStats::default();
+        for c in &inner.channels {
+            s.drops_overflow += c.drop_overflow;
+            s.drops_loss += c.drop_loss;
+            s.corrupted += c.corrupted;
+            s.channel_frames += c.tx_frames;
+            s.channel_bytes += c.tx_bytes;
+        }
+        for sw in &inner.switches {
+            s.drops_unknown_mac += sw.drop_unknown;
+        }
+        s
+    }
+
+    /// Frames received by `nic` so far.
+    pub fn nic_rx_frames(&self, nic: NicId) -> u64 {
+        self.inner.borrow().nics[nic.0].rx_frames
+    }
+
+    /// How much serialization work is queued ahead of a new frame on `nic`'s
+    /// transmit channel (zero when the wire is idle). Used by queue-aware
+    /// link-scheduling policies.
+    pub fn nic_tx_backlog(&self, nic: NicId) -> Dur {
+        let inner = self.inner.borrow();
+        let ch = inner.nics[nic.0]
+            .tx_channel
+            .expect("backlog query on unconnected NIC");
+        inner.channels[ch.0].busy_until.since(self.sim.now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::us;
+    use bytes::Bytes;
+    use frame::{FrameHeader, HEADER_LEN};
+
+    fn data_frame(src: MacAddr, dst: MacAddr, len: usize) -> Frame {
+        Frame {
+            src,
+            dst,
+            header: FrameHeader::default(),
+            payload: Bytes::from(vec![0u8; len]),
+        }
+    }
+
+    /// 1-GbE parameters with deterministic (jitter-free) latency, so the
+    /// timing assertions below are exact.
+    fn quiet_gbe_1() -> ChannelParams {
+        ChannelParams {
+            jitter: Dur::ZERO,
+            ..ChannelParams::gbe_1()
+        }
+    }
+
+    /// Two NICs through one switch; checks delivery and timing.
+    fn two_node_net(fault: FaultModel) -> (Sim, Network, NicId, NicId) {
+        let sim = Sim::new(42);
+        let net = Network::new(&sim, fault);
+        let sw = net.add_switch(us(1));
+        let a = net.add_nic(MacAddr::new(0, 0));
+        let b = net.add_nic(MacAddr::new(1, 0));
+        net.connect(a, sw, quiet_gbe_1());
+        net.connect(b, sw, quiet_gbe_1());
+        (sim, net, a, b)
+    }
+
+    #[test]
+    fn frame_traverses_switch_with_expected_latency() {
+        let (sim, net, a, b) = two_node_net(FaultModel::default());
+        let got: Rc<RefCell<Vec<(u64, usize)>>> = Rc::default();
+        let g = got.clone();
+        net.set_rx_handler(b, move |sim, rx| {
+            assert!(!rx.corrupted);
+            g.borrow_mut()
+                .push((sim.now().as_nanos(), rx.frame.payload.len()));
+        });
+        let f = data_frame(MacAddr::new(0, 0), MacAddr::new(1, 0), 1000);
+        let wire = f.wire_len();
+        assert!(net.nic_send(a, f));
+        sim.run();
+        let (t, len) = got.borrow()[0];
+        assert_eq!(len, 1000);
+        // Two serializations at 125 MB/s + 2 × 2us latency + 1us switch.
+        let ser = Dur::for_bytes(wire, 125e6).as_nanos();
+        assert_eq!(t, 2 * ser + 2_000 + 2_000 + 1_000);
+    }
+
+    #[test]
+    fn back_to_back_frames_serialize_on_the_link() {
+        let (sim, net, a, b) = two_node_net(FaultModel::default());
+        let times: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let t = times.clone();
+        net.set_rx_handler(b, move |sim, _| t.borrow_mut().push(sim.now().as_nanos()));
+        for _ in 0..3 {
+            let f = data_frame(MacAddr::new(0, 0), MacAddr::new(1, 0), 1454);
+            assert!(net.nic_send(a, f));
+        }
+        sim.run();
+        let times = times.borrow();
+        assert_eq!(times.len(), 3);
+        let wire = HEADER_LEN + 1454 + frame::ETHERNET_WIRE_OVERHEAD;
+        let ser = Dur::for_bytes(wire, 125e6).as_nanos();
+        // Arrival spacing equals one serialization time (pipeline full).
+        assert_eq!(times[1] - times[0], ser);
+        assert_eq!(times[2] - times[1], ser);
+    }
+
+    #[test]
+    fn switch_output_queue_overflow_drops() {
+        // Two senders blast one receiver: the receiver's switch output port
+        // (cap 2) is the congestion point; the NIC uplinks never drop.
+        let sim = Sim::new(0);
+        let net = Network::new(&sim, FaultModel::default());
+        let sw = net.add_switch(us(1));
+        let a = net.add_nic(MacAddr::new(0, 0));
+        let b = net.add_nic(MacAddr::new(1, 0));
+        let c = net.add_nic(MacAddr::new(2, 0));
+        let tiny = ChannelParams {
+            queue_cap: 2,
+            ..quiet_gbe_1()
+        };
+        net.connect(a, sw, tiny);
+        net.connect(b, sw, tiny);
+        net.connect(c, sw, tiny);
+        let n = 20;
+        for _ in 0..n {
+            assert!(
+                net.nic_send(a, data_frame(MacAddr::new(0, 0), MacAddr::new(2, 0), 1400)),
+                "uplink must backpressure, not drop"
+            );
+            assert!(net.nic_send(
+                b,
+                data_frame(MacAddr::new(1, 0), MacAddr::new(2, 0), 1400)
+            ));
+        }
+        sim.run();
+        let stats = net.stats();
+        assert!(stats.drops_overflow > 0, "2:1 incast must overflow cap 2");
+        assert_eq!(
+            net.nic_rx_frames(c) + stats.drops_overflow,
+            2 * n,
+            "every frame is either delivered or dropped at the output port"
+        );
+    }
+
+    #[test]
+    fn random_loss_drops_approximately_at_rate() {
+        let (sim, net, a, b) = two_node_net(FaultModel {
+            loss_rate: 0.3,
+            corrupt_rate: 0.0,
+        });
+        let got: Rc<RefCell<u32>> = Rc::default();
+        let g = got.clone();
+        net.set_rx_handler(b, move |_, _| *g.borrow_mut() += 1);
+        let n = 2000;
+        let net2 = net.clone();
+        sim.spawn("sender", {
+            let sim = sim.clone();
+            async move {
+                for _ in 0..n {
+                    net2.nic_send(a, data_frame(MacAddr::new(0, 0), MacAddr::new(1, 0), 100));
+                    crate::sync::sleep(&sim, us(20)).await;
+                }
+            }
+        });
+        sim.run().expect_quiescent();
+        let received = *got.borrow();
+        // Two hops, p=0.3 each: survival (0.7)^2 = 0.49.
+        let expect = (n as f64) * 0.49;
+        assert!(
+            (received as f64 - expect).abs() < expect * 0.15,
+            "received {received}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn corruption_is_flagged_not_dropped() {
+        let (sim, net, a, b) = two_node_net(FaultModel {
+            loss_rate: 0.0,
+            corrupt_rate: 1.0,
+        });
+        let got: Rc<RefCell<Vec<bool>>> = Rc::default();
+        let g = got.clone();
+        net.set_rx_handler(b, move |_, rx| g.borrow_mut().push(rx.corrupted));
+        net.nic_send(a, data_frame(MacAddr::new(0, 0), MacAddr::new(1, 0), 64));
+        sim.run();
+        assert_eq!(*got.borrow(), vec![true]);
+    }
+
+    #[test]
+    fn tx_complete_fires_at_serialization_end() {
+        let (sim, net, a, b) = two_node_net(FaultModel::default());
+        net.set_rx_handler(b, |_, _| {});
+        let done: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let d = done.clone();
+        net.set_tx_complete_handler(a, move |sim, wire_len| {
+            d.borrow_mut().push(sim.now().as_nanos());
+            assert!(wire_len > 0);
+        });
+        let f = data_frame(MacAddr::new(0, 0), MacAddr::new(1, 0), 1000);
+        let wire = f.wire_len();
+        net.nic_send(a, f);
+        sim.run();
+        let ser = Dur::for_bytes(wire, 125e6).as_nanos();
+        assert_eq!(*done.borrow(), vec![ser]);
+    }
+
+    #[test]
+    fn unknown_mac_dropped_at_switch() {
+        let (sim, net, a, _b) = two_node_net(FaultModel::default());
+        net.nic_send(a, data_frame(MacAddr::new(0, 0), MacAddr::new(9, 0), 64));
+        sim.run();
+        assert_eq!(net.stats().drops_unknown_mac, 1);
+    }
+}

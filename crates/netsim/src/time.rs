@@ -1,0 +1,202 @@
+//! Simulated time.
+//!
+//! Virtual time is a `u64` count of nanoseconds since simulation start.
+//! Durations are a separate newtype so that absolute instants and spans
+//! cannot be mixed up silently.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An absolute instant in virtual time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(pub u64);
+
+/// `n` nanoseconds.
+pub const fn ns(n: u64) -> Dur {
+    Dur(n)
+}
+
+/// `n` microseconds.
+pub const fn us(n: u64) -> Dur {
+    Dur(n * 1_000)
+}
+
+/// `n` milliseconds.
+pub const fn ms(n: u64) -> Dur {
+    Dur(n * 1_000_000)
+}
+
+/// `n` seconds.
+pub const fn secs(n: u64) -> Dur {
+    Dur(n * 1_000_000_000)
+}
+
+/// A fractional number of microseconds (useful for calibrated cost models).
+pub fn us_f64(x: f64) -> Dur {
+    debug_assert!(x >= 0.0);
+    Dur((x * 1_000.0).round() as u64)
+}
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Microseconds since simulation start, as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Span from `earlier` to `self`; saturates at zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Dur {
+    /// Zero-length span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Nanoseconds in this span.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Microseconds, as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Span for transmitting `bytes` at `bytes_per_sec`.
+    pub fn for_bytes(bytes: usize, bytes_per_sec: f64) -> Dur {
+        debug_assert!(bytes_per_sec > 0.0);
+        Dur((bytes as f64 / bytes_per_sec * 1e9).round() as u64)
+    }
+}
+
+impl Add<Dur> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: Dur) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Dur> for SimTime {
+    fn add_assign(&mut self, d: Dur) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Dur;
+    fn sub(self, rhs: SimTime) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, k: u64) -> Dur {
+        Dur(self.0 * k)
+    }
+}
+
+impl Mul<f64> for Dur {
+    type Output = Dur;
+    fn mul(self, k: f64) -> Dur {
+        Dur((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, k: u64) -> Dur {
+        Dur(self.0 / k)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + us(3) + ns(500);
+        assert_eq!(t.as_nanos(), 3_500);
+        assert_eq!((t - SimTime(500)).as_nanos(), 3_000);
+        assert_eq!(t.since(SimTime(10_000)), Dur::ZERO);
+        assert_eq!(ms(1), us(1000));
+        assert_eq!(secs(2), ms(2000));
+        assert_eq!(us(10) * 3, us(30));
+        assert_eq!(us(9) / 3, us(3));
+    }
+
+    #[test]
+    fn bytes_at_rate() {
+        // 1250 bytes at 1.25 GB/s (10-GbE) = 1 microsecond.
+        assert_eq!(Dur::for_bytes(1250, 1.25e9), us(1));
+        // 125 bytes at 125 MB/s (1-GbE) = 1 microsecond.
+        assert_eq!(Dur::for_bytes(125, 1.25e8), us(1));
+    }
+
+    #[test]
+    fn fractional_micros() {
+        assert_eq!(us_f64(2.5).as_nanos(), 2_500);
+        assert_eq!(us_f64(0.0).as_nanos(), 0);
+    }
+}

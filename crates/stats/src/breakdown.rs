@@ -1,0 +1,112 @@
+//! Execution-time breakdowns (the paper's Figures 3b, 4b, 5a, 6a).
+//!
+//! The application figures split per-node execution time into compute, data
+//! wait (stalls on remote page fetches), synchronization (locks + barriers)
+//! and protocol overhead. [`Breakdown`] carries those four buckets in
+//! nanoseconds plus the total elapsed time.
+
+use serde::Serialize;
+
+/// Per-node (or averaged) execution-time breakdown, all in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct Breakdown {
+    /// Modeled application computation.
+    pub compute_ns: u64,
+    /// Time blocked waiting for remote data (page fetches, remote reads).
+    pub data_wait_ns: u64,
+    /// Time blocked in locks and barriers.
+    pub sync_ns: u64,
+    /// Protocol CPU time attributed to this node (the paper's "CPU time
+    /// spent in the MultiEdge protocol").
+    pub protocol_ns: u64,
+    /// Wall-clock (virtual) execution time of the parallel section.
+    pub elapsed_ns: u64,
+}
+
+impl Breakdown {
+    /// Sum of the explained buckets (compute + waits). May be below
+    /// `elapsed_ns` (idle/imbalance) — the remainder is reported as "other".
+    pub fn explained_ns(&self) -> u64 {
+        self.compute_ns + self.data_wait_ns + self.sync_ns
+    }
+
+    /// Unattributed time (load imbalance, scheduling).
+    pub fn other_ns(&self) -> u64 {
+        self.elapsed_ns.saturating_sub(self.explained_ns())
+    }
+
+    /// Fraction helpers (of elapsed time).
+    pub fn frac(&self, ns: u64) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            ns as f64 / self.elapsed_ns as f64
+        }
+    }
+
+    /// Average several per-node breakdowns into one.
+    pub fn average(items: &[Breakdown]) -> Breakdown {
+        if items.is_empty() {
+            return Breakdown::default();
+        }
+        let n = items.len() as u64;
+        Breakdown {
+            compute_ns: items.iter().map(|b| b.compute_ns).sum::<u64>() / n,
+            data_wait_ns: items.iter().map(|b| b.data_wait_ns).sum::<u64>() / n,
+            sync_ns: items.iter().map(|b| b.sync_ns).sum::<u64>() / n,
+            protocol_ns: items.iter().map(|b| b.protocol_ns).sum::<u64>() / n,
+            elapsed_ns: items.iter().map(|b| b.elapsed_ns).sum::<u64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_other() {
+        let b = Breakdown {
+            compute_ns: 60,
+            data_wait_ns: 20,
+            sync_ns: 10,
+            protocol_ns: 5,
+            elapsed_ns: 100,
+        };
+        assert_eq!(b.explained_ns(), 90);
+        assert_eq!(b.other_ns(), 10);
+        assert!((b.frac(b.compute_ns) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_of_two() {
+        let a = Breakdown {
+            compute_ns: 100,
+            data_wait_ns: 0,
+            sync_ns: 0,
+            protocol_ns: 0,
+            elapsed_ns: 100,
+        };
+        let b = Breakdown {
+            compute_ns: 50,
+            data_wait_ns: 30,
+            sync_ns: 20,
+            protocol_ns: 10,
+            elapsed_ns: 100,
+        };
+        let avg = Breakdown::average(&[a, b]);
+        assert_eq!(avg.compute_ns, 75);
+        assert_eq!(avg.data_wait_ns, 15);
+        assert_eq!(avg.elapsed_ns, 100);
+    }
+
+    #[test]
+    fn empty_average_is_default() {
+        assert_eq!(Breakdown::average(&[]), Breakdown::default());
+    }
+
+    #[test]
+    fn zero_elapsed_fraction_is_zero() {
+        assert_eq!(Breakdown::default().frac(10), 0.0);
+    }
+}

@@ -1,0 +1,11 @@
+//! `me-stats` — report formatting for the MultiEdge experiment harnesses.
+//!
+//! Every figure/table harness produces rows through [`Table`] so the output
+//! of `cargo bench` is uniform, greppable and easy to diff against the
+//! paper's numbers (see `EXPERIMENTS.md`).
+
+pub mod breakdown;
+pub mod table;
+
+pub use breakdown::Breakdown;
+pub use table::Table;

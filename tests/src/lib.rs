@@ -1,0 +1,32 @@
+//! Shared helpers for cross-crate integration tests.
+
+use multiedge::{Endpoint, SystemConfig};
+use netsim::{build_cluster, Sim};
+use std::rc::Rc;
+
+/// Build `n` endpoints over `cfg`'s topology with all-to-all connections.
+/// Returns the sim, the endpoints, and `conns[i][j]` = connection id at
+/// node `i` toward node `j`.
+pub fn rig(cfg: SystemConfig) -> (Sim, netsim::Cluster, Vec<Endpoint>, Vec<Vec<Option<usize>>>) {
+    let n = cfg.nodes;
+    let sim = Sim::new(cfg.seed);
+    let cluster = build_cluster(&sim, cfg.cluster_spec());
+    let cfg = Rc::new(cfg);
+    let eps = Endpoint::for_cluster(&sim, &cluster, cfg);
+    let mut conns = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (cij, cji) = Endpoint::connect(&eps[i], &eps[j]);
+            conns[i][j] = Some(cij);
+            conns[j][i] = Some(cji);
+        }
+    }
+    (sim, cluster, eps, conns)
+}
+
+/// Deterministic payload of `len` bytes from a seed.
+pub fn payload(seed: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64) % 251) as u8)
+        .collect()
+}
