@@ -1,0 +1,26 @@
+# Offline verification pipeline — everything CI runs, runnable locally.
+# All dependencies are vendored (see vendor/), so --offline always works.
+
+CARGO ?= cargo
+OFFLINE ?= --offline
+
+.PHONY: verify build test doc clippy bench-trace
+
+verify: build test doc clippy
+
+build:
+	$(CARGO) build $(OFFLINE) --release
+
+test:
+	$(CARGO) test $(OFFLINE) -q
+
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc $(OFFLINE) --no-deps
+
+clippy:
+	$(CARGO) clippy $(OFFLINE) --all-targets -- -D warnings
+
+# Traced ping-pong: writes results/BENCH_trace_pingpong.json and asserts the
+# event trace reconciles with the ProtoStats counters.
+bench-trace:
+	$(CARGO) bench $(OFFLINE) -p multiedge-bench --bench trace_pingpong

@@ -162,6 +162,7 @@ async fn transpose_par(
     // page-granular all-to-all the paper blames FFT's overhead on).
     node.fetch_range(src.addr(0), n1 * n1 * 16).await;
     let mut buf: Vec<Vec<Complex>> = vec![vec![[0.0; 2]; n1]; rows];
+    #[allow(clippy::needless_range_loop)] // `b` drives both address math and the transpose index
     for b in 0..n1 {
         // Column stripe [my.start, my.end) of source row b.
         let seg = src.read(node, b * n1 + my.start..b * n1 + my.end).await;

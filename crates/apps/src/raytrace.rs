@@ -147,8 +147,8 @@ fn trace(px: usize, py: usize, w: usize, h: usize, scene: &[Sphere]) -> (u32, u6
         } else {
             (n[0] * l[0] + n[1] * l[1] + n[2] * l[2]).max(0.0)
         };
-        for k in 0..3 {
-            color[k] += weight * s.color[k] * (0.15 + 0.85 * diffuse);
+        for (k, ch) in color.iter_mut().enumerate() {
+            *ch += weight * s.color[k] * (0.15 + 0.85 * diffuse);
         }
         // Reflection bounce.
         let d_dot_n = dir[0] * n[0] + dir[1] * n[1] + dir[2] * n[2];

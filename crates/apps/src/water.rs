@@ -108,11 +108,16 @@ impl Water {
     }
 }
 
+/// One molecule: (id, position, velocity).
+type Molecule = (usize, [f64; 3], [f64; 3]);
+/// Pending cell update in phase 2: (cell, new positions, new velocities).
+type CellUpdate = (usize, Vec<[f64; 3]>, Vec<[f64; 3]>);
+
 /// Short-range pair force on `a` from `b` (soft repulsive, cutoff).
 fn pair_force(a: [f64; 3], b: [f64; 3]) -> Option<[f64; 3]> {
     let d = [a[0] - b[0], a[1] - b[1], a[2] - b[2]];
     let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-    if r2 >= CUTOFF * CUTOFF || r2 < 1e-12 {
+    if !(1e-12..CUTOFF * CUTOFF).contains(&r2) {
         return None;
     }
     let inv = 1.0 / (r2 + 1e-4) - 1.0 / (CUTOFF * CUTOFF + 1e-4);
@@ -190,7 +195,7 @@ impl Grid {
 /// Note: molecules do not migrate between cells across steps (small DT,
 /// re-binning clamped — documented simplification mirrored here).
 fn host_spatial(
-    cells: &mut [Vec<(usize, [f64; 3], [f64; 3])>], // (id, pos, vel)
+    cells: &mut [Vec<Molecule>],
     grid: &Grid,
     steps: usize,
 ) {
@@ -199,6 +204,7 @@ fn host_spatial(
             .iter()
             .map(|c| c.iter().map(|&(_, p, _)| p).collect())
             .collect();
+        #[allow(clippy::needless_range_loop)] // `c` is compared against neighbor ids, not just an index
         for c in 0..cells.len() {
             let neigh = grid.neighbors(c);
             for mi in 0..cells[c].len() {
@@ -210,8 +216,8 @@ fn host_spatial(
                             continue;
                         }
                         if let Some(ff) = pair_force(p, op) {
-                            for k in 0..3 {
-                                f[k] += ff[k];
+                            for (fk, ffk) in f.iter_mut().zip(ff) {
+                                *fk += ffk;
                             }
                         }
                     }
@@ -363,7 +369,7 @@ impl Water {
         let ncells = grid.ncells();
         // Bin molecules on the host (same binning is the initial state for
         // both the oracle and the parallel kernel).
-        let mut cells: Vec<Vec<(usize, [f64; 3], [f64; 3])>> = vec![Vec::new(); ncells];
+        let mut cells: Vec<Vec<Molecule>> = vec![Vec::new(); ncells];
         for i in 0..n {
             let p = Water::init_pos(i);
             let c = grid.cell_of(p);
@@ -438,7 +444,7 @@ impl Water {
                     // snapshot — no shared writes yet, so no node can
                     // observe a mixture of old and new positions.
                     let mut units = 0u64;
-                    let mut updates: Vec<(usize, Vec<[f64; 3]>, Vec<[f64; 3]>)> = Vec::new();
+                    let mut updates: Vec<CellUpdate> = Vec::new();
                     for c in my_cells.clone() {
                         let mine = snap_pos[&c].clone();
                         if mine.is_empty() {
@@ -456,8 +462,8 @@ impl Water {
                                     }
                                     units += 1;
                                     if let Some(ff) = pair_force(mine[mi], *op) {
-                                        for k in 0..3 {
-                                            f[k] += ff[k];
+                                        for (fk, ffk) in f.iter_mut().zip(ff) {
+                                            *fk += ffk;
                                         }
                                     }
                                 }
@@ -495,6 +501,7 @@ impl Water {
                     }
                     let got = cpos.read(&node, c * cell_cap..c * cell_cap + cnt).await;
                     for (mi, g) in got.iter().enumerate() {
+                        #[allow(clippy::needless_range_loop)] // `k` indexes `g` and `want` symmetrically
                         for k in 0..3 {
                             assert!(
                                 (g[k] - want[mi].1[k]).abs() < 1e-9,

@@ -1,0 +1,171 @@
+//! Traced ping-pong: runs the Figure-2 ping-pong cell with the observability
+//! layer enabled and writes `results/BENCH_trace_pingpong.json` carrying the
+//! protocol internals — per-connection op-latency percentiles, out-of-order
+//! frame fraction, explicit-ack ratio — together with a reconciliation
+//! section proving the event trace and the `ProtoStats` counters agree.
+
+use me_trace::report::{hist_to_json, snapshot_to_json, summary};
+use me_trace::{EventKind, Json};
+use multiedge::{ProtoStats, SystemConfig};
+use multiedge_bench::{run_micro, MicroKind, MicroResult};
+
+/// Ring large enough that nothing is overwritten at this scale, so counting
+/// retained events is exact.
+const RING: usize = 1 << 16;
+const SIZE: usize = 4 << 10;
+const ITERS: usize = 200;
+
+fn proto_to_json(s: &ProtoStats) -> Json {
+    Json::obj()
+        .set("ops_write", s.ops_write)
+        .set("ops_read", s.ops_read)
+        .set("bytes_written", s.bytes_written)
+        .set("data_frames_sent", s.data_frames_sent)
+        .set("data_frames_recv", s.data_frames_recv)
+        .set("read_req_frames_sent", s.read_req_frames_sent)
+        .set("explicit_acks_sent", s.explicit_acks_sent)
+        .set("nacks_sent", s.nacks_sent)
+        .set("retransmits_nack", s.retransmits_nack)
+        .set("retransmits_rto", s.retransmits_rto)
+        .set("ctrl_frames_recv", s.ctrl_frames_recv)
+        .set("dup_frames_recv", s.dup_frames_recv)
+        .set("ooo_arrivals", s.ooo_arrivals)
+        .set("notifications", s.notifications)
+        .set("reorder_peak", s.reorder_peak)
+        .set("ooo_fraction", s.ooo_fraction())
+        .set("extra_frame_fraction", s.extra_frame_fraction())
+}
+
+/// Explicit-ack ratio as the paper discusses it (§4): explicit ACK frames
+/// per data frame sent.
+fn explicit_ack_ratio(s: &ProtoStats) -> f64 {
+    if s.data_frames_sent == 0 {
+        return 0.0;
+    }
+    s.explicit_acks_sent as f64 / s.data_frames_sent as f64
+}
+
+/// One traced cell → its JSON object plus a pass/fail reconciliation.
+fn run_cell(cfg: &SystemConfig) -> (Json, bool) {
+    let cfg = cfg.clone().with_tracing(RING);
+    let r: MicroResult = run_micro(&cfg, MicroKind::PingPong, SIZE, ITERS);
+    assert_eq!(r.traces.len(), 2, "tracing was enabled on both endpoints");
+
+    let mut cell = Json::obj()
+        .set("config", cfg.name.as_str())
+        .set("size", r.size)
+        .set("iters", r.iters)
+        .set("latency_us", r.latency_us)
+        .set("throughput_mb_s", r.throughput_mb_s)
+        .set("cpu_util_pct", r.cpu_util_pct)
+        .set("elapsed_s", r.elapsed_s);
+
+    // Headline per-connection numbers from node 0's trace (conn 0 is its
+    // connection to node 1).
+    let snap0 = &r.traces[0];
+    if let Some(h) = snap0.op_latency.get(&0) {
+        cell = cell.set("conn0_op_latency", hist_to_json(h));
+    }
+
+    // Protocol counters, merged and per connection.
+    cell = cell.set("proto_merged", proto_to_json(&r.proto));
+    let mut per_node = Vec::new();
+    for conns in &r.conn_proto {
+        let mut node = Json::obj();
+        for (c, s) in conns.iter().enumerate() {
+            node = node.set(&c.to_string(), proto_to_json(s));
+        }
+        per_node.push(node);
+    }
+    cell = cell
+        .set("proto_by_node_conn", per_node)
+        .set("explicit_ack_ratio", explicit_ack_ratio(&r.proto))
+        .set("ooo_fraction", r.proto.ooo_fraction());
+
+    // Reconciliation: with no ring wraparound, event counts in each node's
+    // trace must equal that node's ProtoStats counters exactly.
+    let mut ok = true;
+    let mut rec = Json::obj();
+    for (i, snap) in r.traces.iter().enumerate() {
+        // All ProtoStats for node i are the sum over its connections.
+        let mut s = ProtoStats::default();
+        for c in &r.conn_proto[i] {
+            s.merge(c);
+        }
+        let sends = snap.count_events(|k| matches!(k, EventKind::FrameSend { .. }));
+        let recvs = snap.count_events(|k| matches!(k, EventKind::FrameRecv { .. }));
+        let ooo = snap.count_events(
+            |k| matches!(k, EventKind::FrameRecv { in_order: false, .. }),
+        );
+        let eacks = snap.count_events(|k| matches!(k, EventKind::ExplicitAck { .. }));
+        let completes = snap.count_events(|k| matches!(k, EventKind::OpComplete { .. }));
+        let want_sends = s.data_frames_sent
+            + s.read_req_frames_sent
+            + s.retransmits_nack
+            + s.retransmits_rto;
+        // Duplicates are counted but emit no FrameRecv event.
+        let want_recvs = s.data_frames_recv;
+        let want_ops = s.ops_write + s.ops_read;
+        let lat_count: u64 = snap.op_latency.values().map(|h| h.count()).sum();
+        let node_ok = snap.overwritten == 0
+            && sends == want_sends
+            && recvs == want_recvs
+            && ooo == s.ooo_arrivals
+            && eacks == s.explicit_acks_sent
+            && completes == want_ops
+            && lat_count == want_ops;
+        ok &= node_ok;
+        rec = rec.set(
+            &format!("node{i}"),
+            Json::obj()
+                .set("events_overwritten", snap.overwritten)
+                .set("frame_send_events", sends)
+                .set("frame_send_expected", want_sends)
+                .set("frame_recv_events", recvs)
+                .set("frame_recv_expected", want_recvs)
+                .set("ooo_recv_events", ooo)
+                .set("ooo_expected", s.ooo_arrivals)
+                .set("explicit_ack_events", eacks)
+                .set("explicit_acks_expected", s.explicit_acks_sent)
+                .set("op_complete_events", completes)
+                .set("op_latency_samples", lat_count)
+                .set("ops_expected", want_ops)
+                .set("ok", node_ok),
+        );
+    }
+    cell = cell.set("reconciliation", rec).set("reconciles", ok);
+
+    // Full snapshots for offline digging (node 0 also holds the network's
+    // wire-time histograms and drop events).
+    let snaps: Vec<Json> = r.traces.iter().map(snapshot_to_json).collect();
+    cell = cell.set("traces", snaps);
+
+    println!("== {} ping-pong {}B x{} ==", cfg.name, SIZE, ITERS);
+    println!("{}", summary(snap0));
+    (cell, ok)
+}
+
+fn main() {
+    let configs = [
+        SystemConfig::one_link_1g(2),
+        SystemConfig::two_link_1g_unordered(2),
+        SystemConfig::two_link_1g(2),
+        SystemConfig::one_link_10g(2),
+    ];
+    let mut cells = Vec::new();
+    let mut all_ok = true;
+    for cfg in &configs {
+        let (cell, ok) = run_cell(cfg);
+        cells.push(cell);
+        all_ok &= ok;
+    }
+    let doc = Json::obj()
+        .set("bench", "trace_pingpong")
+        .set("cells", cells)
+        .set("all_reconcile", all_ok);
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_trace_pingpong.json";
+    std::fs::write(path, doc.render_pretty()).expect("write json");
+    println!("wrote {path} (all_reconcile={all_ok})");
+    assert!(all_ok, "trace/ProtoStats reconciliation failed");
+}

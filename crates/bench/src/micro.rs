@@ -55,6 +55,12 @@ pub struct MicroResult {
     pub net: NetStats,
     /// Virtual elapsed time of the measured section, in seconds.
     pub elapsed_s: f64,
+    /// Per-endpoint trace snapshots (one per node, node 0 first). Empty
+    /// unless the config enables tracing (`SystemConfig::with_tracing`).
+    pub traces: Vec<me_trace::TraceSnapshot>,
+    /// Per-endpoint, per-connection protocol statistics (outer index: node,
+    /// inner index: connection id on that node).
+    pub conn_proto: Vec<Vec<multiedge::ProtoStats>>,
 }
 
 /// How many operations to run for a given size (bounded total volume).
@@ -71,6 +77,11 @@ pub fn run_micro(cfg: &SystemConfig, kind: MicroKind, size: usize, iters: usize)
     let cluster = build_cluster(&sim, cfg.cluster_spec());
     let cfg = Rc::new(cfg);
     let eps = Endpoint::for_cluster(&sim, &cluster, cfg.clone());
+    if cfg.trace_ring > 0 {
+        // Wire-time histograms and drop/corrupt events land in node 0's
+        // tracer (all endpoint tracers are independent; the network gets one).
+        cluster.net.set_tracer(eps[0].tracer());
+    }
     let (c0, c1) = Endpoint::connect(&eps[0], &eps[1]);
 
     // Average host-initiation overhead is measured inside the driver tasks.
@@ -179,6 +190,11 @@ pub fn run_micro(cfg: &SystemConfig, kind: MicroKind, size: usize, iters: usize)
     proto.merge(&eps[1].stats());
     let cpu0 = eps[0].cpu();
     let cpu_util_pct = cpu0.utilization_of_two(elapsed) * 100.0;
+    let traces = eps.iter().filter_map(|e| e.tracer().snapshot()).collect();
+    let conn_proto = eps
+        .iter()
+        .map(|e| (0..e.conn_count()).map(|c| e.conn_stats(c)).collect())
+        .collect();
     MicroResult {
         size,
         iters,
@@ -188,6 +204,8 @@ pub fn run_micro(cfg: &SystemConfig, kind: MicroKind, size: usize, iters: usize)
         proto,
         net: cluster.net.stats(),
         elapsed_s,
+        traces,
+        conn_proto,
     }
 }
 

@@ -154,6 +154,12 @@ pub struct SystemConfig {
     pub proto: ProtoConfig,
     /// RNG seed for the run.
     pub seed: u64,
+    /// Event-trace ring capacity. `0` (the default everywhere) disables
+    /// tracing entirely: every instrumentation point in the endpoint and
+    /// the simulator collapses to a single branch. A non-zero value makes
+    /// each [`crate::Endpoint`] record the latest that many typed protocol
+    /// events plus latency histograms (see the `me-trace` crate).
+    pub trace_ring: usize,
 }
 
 impl SystemConfig {
@@ -168,7 +174,14 @@ impl SystemConfig {
             cost,
             proto: ProtoConfig::default(),
             seed: 1,
+            trace_ring: 0,
         }
+    }
+
+    /// Enable protocol-event tracing with a ring of `capacity` events.
+    pub fn with_tracing(mut self, capacity: usize) -> Self {
+        self.trace_ring = capacity;
+        self
     }
 
     /// The paper's **1L-1G**: one 1-GbE rail.

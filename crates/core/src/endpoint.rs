@@ -28,6 +28,7 @@ use crate::seqspace::{from_wire, to_wire};
 use crate::stats::{CpuSnapshot, ProtoStats};
 use bytes::Bytes;
 use frame::{Frame, FrameFlags, FrameHeader, FrameKind, MacAddr, NackRanges};
+use me_trace::{EventKind, Tracer};
 use netsim::cpu::CpuTimeline;
 use netsim::sync::{sleep_until, Channel};
 use netsim::time::Dur;
@@ -76,8 +77,8 @@ struct Conn {
     next_op: u64,
     /// Most recent forward-fenced op issued (source of fence floors).
     last_fwd_op: Option<u64>,
-    /// Write ops awaiting acknowledgement: (last frame seq, handle).
-    pending_write_ops: VecDeque<(u64, OpHandle)>,
+    /// Write ops awaiting acknowledgement: (last frame seq, op id, handle).
+    pending_write_ops: VecDeque<(u64, u64, OpHandle)>,
     /// Read ops awaiting response data, keyed by our read op id.
     pending_reads: HashMap<u64, OpHandle>,
     sched: LinkScheduler,
@@ -97,6 +98,16 @@ struct Conn {
     last_nack: HashMap<u64, SimTime>,
     /// Per-gap-start time the gap was first observed by the NACK check.
     gap_first_seen: HashMap<u64, SimTime>,
+
+    // ---- observability ----
+    /// Connection-local slice of the protocol counters: every counter that
+    /// can be attributed to one connection is incremented here *and* in the
+    /// endpoint-global [`ProtoStats`] (interrupt/coalescing counters stay
+    /// global because one interrupt batch mixes connections).
+    stats: ProtoStats,
+    /// Receive ops currently held back by a fence, keyed by op id →
+    /// stall start time. Populated only while tracing is enabled.
+    fence_stall_start: HashMap<u64, SimTime>,
 }
 
 impl Conn {
@@ -123,6 +134,8 @@ impl Conn {
             nack_timer_armed: false,
             last_nack: HashMap::new(),
             gap_first_seen: HashMap::new(),
+            stats: ProtoStats::default(),
+            fence_stall_start: HashMap::new(),
         }
     }
 
@@ -147,6 +160,7 @@ struct EndpointInner {
     cpu_app: CpuTimeline,
     cpu_proto: CpuTimeline,
     stats: ProtoStats,
+    tracer: Tracer,
     /// Events waiting for the moderated interrupt to fire.
     irq_pending: VecDeque<ModItem>,
     /// A moderation timer is armed.
@@ -174,6 +188,11 @@ impl Endpoint {
         nics: Vec<NicId>,
         cfg: Rc<SystemConfig>,
     ) -> Endpoint {
+        let tracer = if cfg.trace_ring > 0 {
+            Tracer::enabled(cfg.trace_ring)
+        } else {
+            Tracer::disabled()
+        };
         let ep = Endpoint {
             sim: sim.clone(),
             net: net.clone(),
@@ -186,6 +205,7 @@ impl Endpoint {
                 cpu_app: CpuTimeline::new(),
                 cpu_proto: CpuTimeline::new(),
                 stats: ProtoStats::default(),
+                tracer,
                 irq_pending: VecDeque::new(),
                 irq_armed: false,
                 irq_gen: 0,
@@ -302,6 +322,8 @@ impl Endpoint {
             let cost = cm.syscall + cm.copy_cost(len) + per_frame * nframes;
             inner.stats.ops_write += 1;
             inner.stats.bytes_written += len as u64;
+            inner.conns[conn].stats.ops_write += 1;
+            inner.conns[conn].stats.bytes_written += len as u64;
             let (_, end) = inner.cpu_app.reserve(self.sim.now(), cost);
             end
         };
@@ -333,6 +355,8 @@ impl Endpoint {
             let cost = cm.syscall + cm.frame_build + cm.dma_post;
             inner.stats.ops_read += 1;
             inner.stats.bytes_read += len as u64;
+            inner.conns[conn].stats.ops_read += 1;
+            inner.conns[conn].stats.bytes_read += len as u64;
             let (_, end) = inner.cpu_app.reserve(self.sim.now(), cost);
             end
         };
@@ -373,6 +397,37 @@ impl Endpoint {
             s.reorder_peak = s.reorder_peak.max(c.order.buffered_peak() as u64);
         }
         s
+    }
+
+    /// Snapshot of the connection-local slice of the protocol statistics.
+    ///
+    /// Every connection-attributable counter (operations, frames sent and
+    /// received, acks, nacks, retransmissions) is maintained both here and
+    /// in the endpoint-global [`Endpoint::stats`]; summing this over all
+    /// connections reproduces the global value for those counters. The
+    /// interrupt/coalescing counters and `corrupt_frames` are only global:
+    /// one moderated interrupt serves a batch that may mix connections, and
+    /// a corrupted frame's header cannot be trusted for attribution.
+    pub fn conn_stats(&self, conn: usize) -> ProtoStats {
+        let inner = self.inner.borrow();
+        let c = &inner.conns[conn];
+        let mut s = c.stats;
+        s.reorder_peak = c.order.buffered_peak() as u64;
+        s
+    }
+
+    /// Number of connections on this endpoint.
+    pub fn conn_count(&self) -> usize {
+        self.inner.borrow().conns.len()
+    }
+
+    /// This endpoint's tracing handle (disabled unless the
+    /// [`SystemConfig::trace_ring`](crate::SystemConfig) knob is non-zero).
+    /// All clones share one ring and one histogram set; hand a clone to
+    /// [`netsim::Network::set_tracer`] to merge wire-level events into the
+    /// same timeline.
+    pub fn tracer(&self) -> Tracer {
+        self.inner.borrow().tracer.clone()
     }
 
     /// Snapshot of CPU busy time.
@@ -467,7 +522,13 @@ impl Endpoint {
                     },
                 );
             }
-            c.pending_write_ops.push_back((last_seq, handle));
+            c.pending_write_ops.push_back((last_seq, op_id, handle));
+            inner.tracer.emit(
+                self.sim.now().as_nanos(),
+                Some(conn as u32),
+                None,
+                EventKind::OpIssue { op: op_id },
+            );
             inner.pump_send(conn, &self.net, &self.sim, false)
         };
         self.dispatch(sends);
@@ -489,6 +550,7 @@ impl Endpoint {
             let node = inner.node;
             inner.stats.read_req_frames_sent += 1;
             let c = &mut inner.conns[conn];
+            c.stats.read_req_frames_sent += 1;
             let mut flags = flags;
             if force {
                 flags.fence_backward = true;
@@ -533,6 +595,12 @@ impl Endpoint {
                 },
             );
             c.pending_reads.insert(op_id, handle);
+            inner.tracer.emit(
+                self.sim.now().as_nanos(),
+                Some(conn as u32),
+                None,
+                EventKind::OpIssue { op: op_id },
+            );
             inner.pump_send(conn, &self.net, &self.sim, false)
         };
         self.dispatch(sends);
@@ -572,6 +640,9 @@ impl Endpoint {
         if inner.cpu_proto.available_at() > now {
             // Protocol thread active: polled, no interrupt.
             inner.stats.rx_coalesced += 1;
+            inner
+                .tracer
+                .emit(now.as_nanos(), None, None, EventKind::RxPoll { batch: 1 });
             let cost = Self::rx_cost(&inner.cfg.cost, &rx);
             let (_, end) = inner.cpu_proto.reserve(now, cost);
             if rx.corrupted {
@@ -595,6 +666,9 @@ impl Endpoint {
         let mut inner = self.inner.borrow_mut();
         if inner.cpu_proto.available_at() > now {
             inner.stats.tx_coalesced += 1;
+            inner
+                .tracer
+                .emit(now.as_nanos(), None, None, EventKind::TxPoll);
             let cost = inner.cfg.cost.tx_complete_proc;
             inner.cpu_proto.reserve(now, cost);
         } else {
@@ -650,16 +724,27 @@ impl Endpoint {
             let n_tx = batch.len() as u64 - n_rx;
             // One interrupt for the batch; attribute it to the receive path
             // if any receive event is present.
+            let now = self.sim.now();
             if n_rx > 0 {
                 inner.stats.rx_interrupts += 1;
                 inner.stats.rx_coalesced += n_rx - 1;
                 inner.stats.tx_coalesced += n_tx;
+                inner.tracer.emit(
+                    now.as_nanos(),
+                    None,
+                    None,
+                    EventKind::RxInterrupt {
+                        batch: batch.len() as u32,
+                    },
+                );
             } else {
                 inner.stats.tx_interrupts += 1;
                 inner.stats.tx_coalesced += n_tx - 1;
+                inner
+                    .tracer
+                    .emit(now.as_nanos(), None, None, EventKind::TxInterrupt);
             }
             let cm = inner.cfg.cost.clone();
-            let now = self.sim.now();
             inner.cpu_proto.reserve(now, cm.interrupt + cm.kthread_wake);
             let mut applies = Vec::new();
             for item in batch {
@@ -695,10 +780,16 @@ impl Endpoint {
         self.process_ack(conn, f.header.ack, now);
         match f.header.kind {
             FrameKind::Ack => {
-                self.inner.borrow_mut().stats.ctrl_frames_recv += 1;
+                let mut inner = self.inner.borrow_mut();
+                inner.stats.ctrl_frames_recv += 1;
+                inner.conns[conn].stats.ctrl_frames_recv += 1;
             }
             FrameKind::Nack => {
-                self.inner.borrow_mut().stats.ctrl_frames_recv += 1;
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.stats.ctrl_frames_recv += 1;
+                    inner.conns[conn].stats.ctrl_frames_recv += 1;
+                }
                 self.process_nack(conn, &f);
             }
             FrameKind::Data | FrameKind::ReadResponse | FrameKind::ReadRequest => {
@@ -734,25 +825,45 @@ impl Endpoint {
             while c
                 .pending_write_ops
                 .front()
-                .is_some_and(|(last, _)| *last < ack)
+                .is_some_and(|(last, _, _)| *last < ack)
             {
-                let (_, h) = c.pending_write_ops.pop_front().expect("checked front");
-                completed.push(h);
+                let (_, op, h) = c.pending_write_ops.pop_front().expect("checked front");
+                completed.push((op, h));
             }
+            inner.tracer.emit(
+                now.as_nanos(),
+                Some(conn as u32),
+                None,
+                EventKind::AckPiggyback { ack },
+            );
             let sends = inner.pump_send(conn, &self.net, &self.sim, true);
             (sends, completed)
         };
         self.dispatch(sends);
         if !completed.is_empty() {
-            let wake = {
+            let (wake, tracer) = {
                 let mut inner = self.inner.borrow_mut();
                 let wake = inner.cfg.cost.app_wake;
                 inner.cpu_app.account(wake * completed.len() as u64);
-                wake
+                (wake, inner.tracer.clone())
             };
             let at = now + wake;
-            for h in completed {
-                self.sim.schedule_at(at, move |sim| h.complete(sim.now()));
+            for (op, h) in completed {
+                let tracer = tracer.clone();
+                self.sim.schedule_at(at, move |sim| {
+                    h.complete(sim.now());
+                    if tracer.is_enabled() {
+                        if let Some(lat) = h.latency() {
+                            tracer.op_latency(conn as u32, lat.as_nanos());
+                        }
+                        tracer.emit(
+                            sim.now().as_nanos(),
+                            Some(conn as u32),
+                            None,
+                            EventKind::OpComplete { op },
+                        );
+                    }
+                });
             }
         }
     }
@@ -786,6 +897,15 @@ impl Endpoint {
             }
             let n = to_resend.len() as u64;
             inner.stats.retransmits_nack += n;
+            inner.conns[conn].stats.retransmits_nack += n;
+            inner.tracer.emit(
+                self.sim.now().as_nanos(),
+                Some(conn as u32),
+                None,
+                EventKind::NackRecv {
+                    gaps: ranges.ranges.len() as u32,
+                },
+            );
             inner.cpu_proto.account(per_frame * n);
             let mut sends = Vec::with_capacity(to_resend.len());
             for seq in to_resend {
@@ -805,7 +925,7 @@ impl Endpoint {
         // (read address at this node, initiator response buffer, length,
         //  initiator read-op id)
         let mut read_serves: Vec<(u64, u64, u64, u64)> = Vec::new();
-        let mut read_completions: Vec<OpHandle> = Vec::new();
+        let mut read_completions: Vec<(u64, OpHandle)> = Vec::new();
         let mut duplicate = false;
         let mut send_ack_now = false;
         let mut arm_ack_timer = false;
@@ -814,26 +934,36 @@ impl Endpoint {
             let mut inner = self.inner.borrow_mut();
             let ack_every = inner.cfg.proto.ack_every;
             let peer = inner.conns[conn].peer_node;
-            let admit = {
+            let traced = inner.tracer.is_enabled();
+            let (admit, seq) = {
                 let c = &mut inner.conns[conn];
                 let seq = from_wire(c.seqs.cumulative(), f.header.seq);
-                c.seqs.admit(seq)
+                (c.seqs.admit(seq), seq)
             };
             match admit {
                 Admit::Duplicate => {
                     inner.stats.dup_frames_recv += 1;
+                    inner.conns[conn].stats.dup_frames_recv += 1;
                     duplicate = true;
                 }
                 Admit::New { in_order } => {
                     inner.stats.data_frames_recv += 1;
+                    inner.conns[conn].stats.data_frames_recv += 1;
                     if !in_order {
                         inner.stats.ooo_arrivals += 1;
+                        inner.conns[conn].stats.ooo_arrivals += 1;
                     }
+                    inner.tracer.emit(
+                        now.as_nanos(),
+                        Some(conn as u32),
+                        Some(f.dst.rail as u32),
+                        EventKind::FrameRecv { seq, in_order },
+                    );
                 }
             }
             if !duplicate {
                 // Reconstruct op-level fields and run the fence machinery.
-                let (applies, completions) = {
+                let (applies, completions, stalled_op) = {
                     let c = &mut inner.conns[conn];
                     let op_id = from_wire(c.order.applied_below(), f.header.op_id);
                     let fence_floor = from_wire(c.order.applied_below(), f.header.fence_floor);
@@ -868,9 +998,49 @@ impl Endpoint {
                         addr: f.header.remote_addr,
                         data: f.payload.clone(),
                     };
+                    let buffered_before = c.order.buffered();
                     let release = c.order.offer(meta, payload);
-                    (release.apply, release.completed)
+                    // The fragment was held back iff the buffer count grew.
+                    let stalled_op = if c.order.buffered() > buffered_before {
+                        if traced {
+                            c.fence_stall_start.entry(op_id).or_insert(now);
+                        }
+                        Some(op_id)
+                    } else {
+                        None
+                    };
+                    (release.apply, release.completed, stalled_op)
                 };
+                if traced {
+                    if let Some(op) = stalled_op {
+                        inner.tracer.emit(
+                            now.as_nanos(),
+                            Some(conn as u32),
+                            None,
+                            EventKind::FenceStall { op },
+                        );
+                    }
+                    let released: Vec<(u64, u64)> = {
+                        let c = &mut inner.conns[conn];
+                        applies
+                            .iter()
+                            .filter_map(|(m, _)| {
+                                c.fence_stall_start
+                                    .remove(&m.op_id)
+                                    .map(|start| (m.op_id, now.since(start).as_nanos()))
+                            })
+                            .collect()
+                    };
+                    for (op, stalled_ns) in released {
+                        inner.tracer.emit(
+                            now.as_nanos(),
+                            Some(conn as u32),
+                            None,
+                            EventKind::FenceRelease { op, stalled_ns },
+                        );
+                        inner.tracer.fence_stall(conn as u32, stalled_ns);
+                    }
+                }
                 // Apply released fragments to memory.
                 for (_, frag) in &applies {
                     match frag.kind {
@@ -889,27 +1059,28 @@ impl Endpoint {
                         continue;
                     };
                     match mi.kind {
-                        FrameKind::Data => {
-                            if mi.notify {
-                                notif.push(Notification {
-                                    from_node: peer,
-                                    addr: mi.start_addr,
-                                    len: mi.total as usize,
-                                });
-                            }
+                        FrameKind::Data if mi.notify => {
+                            notif.push(Notification {
+                                from_node: peer,
+                                addr: mi.start_addr,
+                                len: mi.total as usize,
+                            });
                         }
+                        FrameKind::Data => {}
                         FrameKind::ReadRequest => {
                             read_serves.push((mi.start_addr, mi.aux, mi.req_len, op));
                         }
                         FrameKind::ReadResponse => {
                             let read_id = mi.aux;
                             if let Some(h) = inner.conns[conn].pending_reads.remove(&read_id) {
-                                read_completions.push(h);
+                                read_completions.push((read_id, h));
                             }
                         }
                         _ => {}
                     }
                 }
+                inner.stats.notifications += notif.len() as u64;
+                inner.conns[conn].stats.notifications += notif.len() as u64;
                 // Acknowledgement policy.
                 let c = &mut inner.conns[conn];
                 c.frames_since_ack += 1;
@@ -936,12 +1107,12 @@ impl Endpoint {
         }
         // Notifications and read completions wake application tasks.
         if !notif.is_empty() || !read_completions.is_empty() {
-            let wake = {
+            let (wake, tracer) = {
                 let mut inner = self.inner.borrow_mut();
                 let wake = inner.cfg.cost.app_wake;
                 let n = (notif.len() + read_completions.len()) as u64;
                 inner.cpu_app.account(wake * n);
-                wake
+                (wake, inner.tracer.clone())
             };
             let at = now + wake;
             let notifications = self.notifications.clone();
@@ -949,8 +1120,19 @@ impl Endpoint {
                 for nf in notif {
                     notifications.push(nf);
                 }
-                for h in read_completions {
+                for (op, h) in read_completions {
                     h.complete(sim.now());
+                    if tracer.is_enabled() {
+                        if let Some(lat) = h.latency() {
+                            tracer.op_latency(conn as u32, lat.as_nanos());
+                        }
+                        tracer.emit(
+                            sim.now().as_nanos(),
+                            Some(conn as u32),
+                            None,
+                            EventKind::OpComplete { op },
+                        );
+                    }
                 }
             });
         }
@@ -1045,7 +1227,9 @@ impl Endpoint {
             let node = inner.node;
             let nics = inner.nics.clone();
             let c = &mut inner.conns[conn];
+            c.stats.explicit_acks_sent += 1;
             c.frames_since_ack = 0;
+            let cum = c.seqs.cumulative();
             let header = FrameHeader {
                 kind: FrameKind::Ack,
                 flags: FrameFlags::empty(),
@@ -1067,6 +1251,12 @@ impl Endpoint {
                 header,
                 payload: Bytes::new(),
             };
+            inner.tracer.emit(
+                self.sim.now().as_nanos(),
+                Some(conn as u32),
+                Some(rail as u32),
+                EventKind::ExplicitAck { ack: cum },
+            );
             (nics[rail], f)
         };
         self.net.nic_send(nic, f);
@@ -1137,6 +1327,8 @@ impl Endpoint {
             let node = inner.node;
             let nics = inner.nics.clone();
             let c = &mut inner.conns[conn];
+            c.stats.nacks_sent += 1;
+            let gaps = ranges.len() as u32;
             let payload = NackRanges { ranges }.encode();
             let header = FrameHeader {
                 kind: FrameKind::Nack,
@@ -1159,6 +1351,12 @@ impl Endpoint {
                 header,
                 payload,
             };
+            inner.tracer.emit(
+                self.sim.now().as_nanos(),
+                Some(conn as u32),
+                Some(rail as u32),
+                EventKind::NackSend { gaps },
+            );
             (nics[rail], f)
         };
         self.net.nic_send(nic, f);
@@ -1198,7 +1396,14 @@ impl Endpoint {
                 // will NACK anything else that is missing.
                 let seq = c.sent_up_to - 1;
                 c.last_progress = now;
+                c.stats.retransmits_rto += 1;
                 inner.stats.retransmits_rto += 1;
+                inner.tracer.emit(
+                    now.as_nanos(),
+                    Some(conn as u32),
+                    None,
+                    EventKind::RtoFire { seq },
+                );
                 inner.cpu_proto.account(per);
                 (
                     inner.prepare_transmit(conn, seq, true, &self.net, &self.sim),
@@ -1257,6 +1462,8 @@ impl EndpointInner {
             }
             self.stats.data_frames_sent += n;
             self.stats.data_bytes_sent += bytes;
+            self.conns[conn].stats.data_frames_sent += n;
+            self.conns[conn].stats.data_bytes_sent += bytes;
             // Any data frame piggybacks the ack state: the receiver-side
             // obligations are satisfied by it.
             self.conns[conn].frames_since_ack = 0;
@@ -1288,6 +1495,12 @@ impl EndpointInner {
             .pick(&nics, net, |n| sim.with_rng(|r| r.gen_range(0..n)));
         f.src = MacAddr::new(node as u16, rail as u8);
         f.dst = MacAddr::new(c.peer_node as u16, rail as u8);
+        self.tracer.emit(
+            sim.now().as_nanos(),
+            Some(conn as u32),
+            Some(rail as u32),
+            EventKind::FrameSend { seq, retransmit },
+        );
         Some((nics[rail], f))
     }
 }
@@ -1347,10 +1560,10 @@ mod tests {
     fn remote_read_round_trip() {
         let (sim, _cluster, eps, (c0, _)) = rig(SystemConfig::one_link_1g(2));
         let secret: Vec<u8> = (0..5000u32).map(|i| (i * 7 % 256) as u8).collect();
-        eps[1].mem_write(0xbeef_000, &secret);
+        eps[1].mem_write(0xbeef_0000, &secret);
         let a = eps[0].clone();
         let got = sim.spawn("reader", async move {
-            let h = a.read(c0, 0x100, 0xbeef_000, 5000, OpFlags::RELAXED).await;
+            let h = a.read(c0, 0x100, 0xbeef_0000, 5000, OpFlags::RELAXED).await;
             h.wait().await;
             a.mem_read(0x100, 5000)
         });
@@ -1443,10 +1656,12 @@ mod tests {
         let mut cfg = SystemConfig::one_link_1g(2);
         cfg.fault = FaultModel {
             loss_rate: 0.0,
-            corrupt_rate: 0.01,
+            // High enough that ~200 frames corrupt a few with overwhelming
+            // probability regardless of the RNG stream behind the seed.
+            corrupt_rate: 0.03,
         };
         let (sim, _cluster, eps, (c0, _)) = rig(cfg);
-        let n = 150_000usize;
+        let n = 300_000usize;
         let payload: Vec<u8> = (0..n).map(|i| (i % 233) as u8).collect();
         let p2 = payload.clone();
         let a = eps[0].clone();

@@ -44,6 +44,8 @@
 //! assert_eq!(eps[1].mem_read(0x1000, 5), b"hello");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod endpoint;
 pub mod memory;

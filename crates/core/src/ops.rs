@@ -201,7 +201,7 @@ mod tests {
     fn flag_builders_compose() {
         let f = OpFlags::RELAXED.with_notify().with_fence_forward();
         assert!(f.notify && f.fence_forward && !f.fence_backward);
-        assert!(OpFlags::ORDERED.fence_backward && OpFlags::ORDERED.fence_forward);
-        assert!(OpFlags::ORDERED_NOTIFY.notify);
+        const { assert!(OpFlags::ORDERED.fence_backward && OpFlags::ORDERED.fence_forward) }
+        const { assert!(OpFlags::ORDERED_NOTIFY.notify) }
     }
 }

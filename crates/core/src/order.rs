@@ -16,6 +16,11 @@
 //!
 //! The tracker is generic over the fragment payload type so it can be tested
 //! standalone and reused for both writes and read-requests.
+//!
+//! `DESIGN.md` §4.4 walks one fenced two-rail exchange through this
+//! machinery as an annotated sequence diagram; the time a fragment spends
+//! buffered here is surfaced as `fence_stall`/`fence_release` trace events
+//! and the `fence_stall` histogram (see `docs/OBSERVABILITY.md`).
 
 use std::collections::BTreeMap;
 

@@ -58,11 +58,7 @@ pub struct SharedArray<T: Pod> {
 // Manual impls: `T` need not be Clone/Copy-bounded at the struct level.
 impl<T: Pod> Clone for SharedArray<T> {
     fn clone(&self) -> Self {
-        Self {
-            base: self.base,
-            len: self.len,
-            _pd: PhantomData,
-        }
+        *self
     }
 }
 impl<T: Pod> Copy for SharedArray<T> {}

@@ -118,9 +118,9 @@ mod tests {
         let mut home = home_orig.clone();
         apply_runs(&mut home, &a, &diff_runs(&twin, &a));
         apply_runs(&mut home, &b, &diff_runs(&twin, &b));
-        for i in 0..256 {
+        for (i, &got) in home.iter().enumerate() {
             let want = if i % 2 == 0 { 0xAA } else { 0xBB };
-            assert_eq!(home[i], want, "byte {i}");
+            assert_eq!(got, want, "byte {i}");
         }
     }
 

@@ -107,6 +107,6 @@ mod tests {
     #[test]
     fn max_payload_fits_mtu() {
         assert_eq!(MAX_PAYLOAD + HEADER_LEN, ETHERNET_MTU);
-        assert!(MAX_PAYLOAD > 1400, "header overhead should be small");
+        const { assert!(MAX_PAYLOAD > 1400, "header overhead should be small") }
     }
 }

@@ -23,6 +23,7 @@
 use crate::engine::Sim;
 use crate::time::{Dur, SimTime};
 use frame::{Frame, MacAddr};
+use me_trace::{EventKind, Tracer};
 use rand::Rng;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -162,6 +163,7 @@ struct NetInner {
     switches: Vec<SwitchState>,
     nics: Vec<NicState>,
     fault: FaultModel,
+    tracer: Tracer,
 }
 
 /// The simulated network: a set of NICs and switches connected by channels.
@@ -181,8 +183,18 @@ impl Network {
                 switches: Vec::new(),
                 nics: Vec::new(),
                 fault,
+                tracer: Tracer::disabled(),
             })),
         }
+    }
+
+    /// Attach a [`Tracer`]: the network then records each channel
+    /// traversal's wire time (submit → arrival, keyed by the sending rail)
+    /// and emits `frame_drop` / `frame_corrupt` events at the exact
+    /// overflow, loss and corruption sites. A switched path contributes
+    /// two wire-time samples per frame (uplink and downlink legs).
+    pub fn set_tracer(&self, t: Tracer) {
+        self.inner.borrow_mut().tracer = t;
     }
 
     /// Add a switch with the given per-frame forwarding delay.
@@ -292,9 +304,16 @@ impl Network {
         let jitter = self.draw_jitter(ch);
         let (start, end, arrival, to) = {
             let mut inner = self.inner.borrow_mut();
+            let tracer = inner.tracer.clone();
             let c = &mut inner.channels[ch.0];
             if c.pending >= c.params.queue_cap {
                 c.drop_overflow += 1;
+                tracer.emit(
+                    now.as_nanos(),
+                    Some(f.header.conn),
+                    Some(f.src.rail as u32),
+                    EventKind::FrameDrop,
+                );
                 return false;
             }
             let start = now.max(c.busy_until);
@@ -310,6 +329,7 @@ impl Network {
             // FIFO within a channel: never overtake the previous frame.
             arrival = arrival.max(c.last_arrival);
             c.last_arrival = arrival;
+            tracer.wire_time(f.src.rail as u32, arrival.since(now).as_nanos());
             (if queued { Some(start) } else { None }, end, arrival, c.to)
         };
         // Serialization starts: the frame leaves the queue.
@@ -357,11 +377,25 @@ impl Network {
             (lost, corrupted)
         };
         if lost {
-            self.inner.borrow_mut().channels[ch.0].drop_loss += 1;
+            let mut inner = self.inner.borrow_mut();
+            inner.channels[ch.0].drop_loss += 1;
+            inner.tracer.emit(
+                sim.now().as_nanos(),
+                Some(f.header.conn),
+                Some(f.src.rail as u32),
+                EventKind::FrameDrop,
+            );
             return;
         }
         if corrupted {
-            self.inner.borrow_mut().channels[ch.0].corrupted += 1;
+            let mut inner = self.inner.borrow_mut();
+            inner.channels[ch.0].corrupted += 1;
+            inner.tracer.emit(
+                sim.now().as_nanos(),
+                Some(f.header.conn),
+                Some(f.src.rail as u32),
+                EventKind::FrameCorrupt,
+            );
         }
         match to {
             Endpoint::Switch(sw) => {
@@ -414,9 +448,16 @@ impl Network {
         let jitter = self.draw_jitter(ch);
         let (start, arrival, to) = {
             let mut inner = self.inner.borrow_mut();
+            let tracer = inner.tracer.clone();
             let c = &mut inner.channels[ch.0];
             if c.pending >= c.params.queue_cap {
                 c.drop_overflow += 1;
+                tracer.emit(
+                    now.as_nanos(),
+                    Some(f.header.conn),
+                    Some(f.src.rail as u32),
+                    EventKind::FrameDrop,
+                );
                 return;
             }
             let start = now.max(c.busy_until);
@@ -431,6 +472,7 @@ impl Network {
             let mut arrival = end + c.params.latency + jitter;
             arrival = arrival.max(c.last_arrival);
             c.last_arrival = arrival;
+            tracer.wire_time(f.src.rail as u32, arrival.since(now).as_nanos());
             (if queued { Some(start) } else { None }, arrival, c.to)
         };
         if let Some(start) = start {

@@ -68,9 +68,9 @@ pub fn build_cluster(sim: &Sim, spec: ClusterSpec) -> Cluster {
     let mut nics = Vec::with_capacity(spec.nodes);
     for node in 0..spec.nodes {
         let mut row = Vec::with_capacity(spec.rails);
-        for rail in 0..spec.rails {
+        for (rail, &switch) in switches.iter().enumerate() {
             let nic = net.add_nic(MacAddr::new(node as u16, rail as u8));
-            net.connect(nic, switches[rail], spec.link);
+            net.connect(nic, switch, spec.link);
             row.push(nic);
         }
         nics.push(row);

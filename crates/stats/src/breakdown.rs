@@ -5,10 +5,8 @@
 //! and protocol overhead. [`Breakdown`] carries those four buckets in
 //! nanoseconds plus the total elapsed time.
 
-use serde::Serialize;
-
 /// Per-node (or averaged) execution-time breakdown, all in nanoseconds.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Breakdown {
     /// Modeled application computation.
     pub compute_ns: u64,

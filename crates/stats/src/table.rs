@@ -123,9 +123,9 @@ pub fn fmt_pct(v: f64) -> String {
 
 /// Format a byte size compactly (16, 1K, 64K, 1M).
 pub fn fmt_size(bytes: usize) -> String {
-    if bytes >= 1 << 20 && bytes % (1 << 20) == 0 {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
         format!("{}M", bytes >> 20)
-    } else if bytes >= 1 << 10 && bytes % (1 << 10) == 0 {
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
         format!("{}K", bytes >> 10)
     } else {
         format!("{bytes}")

@@ -1,0 +1,171 @@
+//! Typed protocol events and their timestamped envelope.
+
+/// What happened. One variant per protocol event class the paper's
+/// evaluation reasons about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An RDMA operation (write/read) was issued by the application.
+    OpIssue {
+        /// Operation id (per-connection, monotonically increasing).
+        op: u64,
+    },
+    /// An operation fully completed (acknowledged / data landed).
+    OpComplete {
+        /// Operation id.
+        op: u64,
+    },
+    /// A data or read-request frame was handed to a NIC.
+    FrameSend {
+        /// Connection-local sequence number.
+        seq: u64,
+        /// True when this is a NACK- or RTO-driven retransmission.
+        retransmit: bool,
+    },
+    /// A data frame was accepted by the receive path.
+    FrameRecv {
+        /// Connection-local sequence number.
+        seq: u64,
+        /// False when the frame arrived ahead of the expected sequence
+        /// (an out-of-order arrival in the paper's §4 sense).
+        in_order: bool,
+    },
+    /// A piggybacked cumulative ACK advanced the sender's window.
+    AckPiggyback {
+        /// The cumulative sequence acknowledged.
+        ack: u64,
+    },
+    /// An explicit (delayed) ACK frame was sent.
+    ExplicitAck {
+        /// The cumulative sequence acknowledged.
+        ack: u64,
+    },
+    /// A NACK frame reporting persistent gaps was sent.
+    NackSend {
+        /// Number of missing ranges reported.
+        gaps: u32,
+    },
+    /// A NACK frame was received and its ranges queued for retransmit.
+    NackRecv {
+        /// Number of missing ranges it carried.
+        gaps: u32,
+    },
+    /// The coarse retransmission timeout fired.
+    RtoFire {
+        /// The sequence retransmitted by the timeout.
+        seq: u64,
+    },
+    /// A fragment could not be applied because a fence held it back.
+    FenceStall {
+        /// Operation id of the held fragment.
+        op: u64,
+    },
+    /// A previously stalled operation became applicable.
+    FenceRelease {
+        /// Operation id released.
+        op: u64,
+        /// How long it was held in the reorder buffer, in ns.
+        stalled_ns: u64,
+    },
+    /// An RX interrupt fired (after NIC moderation) and served a batch.
+    RxInterrupt {
+        /// Events served by this one interrupt (1 + coalesced).
+        batch: u32,
+    },
+    /// RX events were absorbed by the already-running protocol thread
+    /// (the paper's §2.6 polling loop) at zero interrupt cost.
+    RxPoll {
+        /// Events absorbed without an interrupt.
+        batch: u32,
+    },
+    /// A TX-completion interrupt fired.
+    TxInterrupt,
+    /// A TX completion was absorbed by polling.
+    TxPoll,
+    /// The network dropped a frame (queue overflow or injected loss).
+    FrameDrop,
+    /// The network delivered a frame with an injected corruption.
+    FrameCorrupt,
+}
+
+impl EventKind {
+    /// Short stable label for reports and JSON (`frame_send`, `rto_fire`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::OpIssue { .. } => "op_issue",
+            EventKind::OpComplete { .. } => "op_complete",
+            EventKind::FrameSend { .. } => "frame_send",
+            EventKind::FrameRecv { .. } => "frame_recv",
+            EventKind::AckPiggyback { .. } => "ack_piggyback",
+            EventKind::ExplicitAck { .. } => "explicit_ack",
+            EventKind::NackSend { .. } => "nack_send",
+            EventKind::NackRecv { .. } => "nack_recv",
+            EventKind::RtoFire { .. } => "rto_fire",
+            EventKind::FenceStall { .. } => "fence_stall",
+            EventKind::FenceRelease { .. } => "fence_release",
+            EventKind::RxInterrupt { .. } => "rx_interrupt",
+            EventKind::RxPoll { .. } => "rx_poll",
+            EventKind::TxInterrupt => "tx_interrupt",
+            EventKind::TxPoll => "tx_poll",
+            EventKind::FrameDrop => "frame_drop",
+            EventKind::FrameCorrupt => "frame_corrupt",
+        }
+    }
+}
+
+/// A timestamped, attributed protocol event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulation time in nanoseconds.
+    pub t_ns: u64,
+    /// Connection id, when the event is connection-attributable.
+    pub conn: Option<u32>,
+    /// Link (channel) id, when the event is link-attributable.
+    pub link: Option<u32>,
+    /// The typed payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// One-line human rendering used by the timeline reporter.
+    pub fn render(&self) -> String {
+        let mut s = format!("{:>12} ns  {:<13}", self.t_ns, self.kind.label());
+        if let Some(c) = self.conn {
+            s.push_str(&format!(" conn={c}"));
+        }
+        if let Some(l) = self.link {
+            s.push_str(&format!(" link={l}"));
+        }
+        match self.kind {
+            EventKind::OpIssue { op } | EventKind::OpComplete { op } | EventKind::FenceStall { op } => {
+                s.push_str(&format!(" op={op}"));
+            }
+            EventKind::FenceRelease { op, stalled_ns } => {
+                s.push_str(&format!(" op={op} stalled={stalled_ns}ns"));
+            }
+            EventKind::FrameSend { seq, retransmit } => {
+                s.push_str(&format!(" seq={seq}"));
+                if retransmit {
+                    s.push_str(" retransmit");
+                }
+            }
+            EventKind::FrameRecv { seq, in_order } => {
+                s.push_str(&format!(" seq={seq}"));
+                if !in_order {
+                    s.push_str(" out-of-order");
+                }
+            }
+            EventKind::AckPiggyback { ack } | EventKind::ExplicitAck { ack } => {
+                s.push_str(&format!(" ack={ack}"));
+            }
+            EventKind::NackSend { gaps } | EventKind::NackRecv { gaps } => {
+                s.push_str(&format!(" gaps={gaps}"));
+            }
+            EventKind::RtoFire { seq } => s.push_str(&format!(" seq={seq}")),
+            EventKind::RxInterrupt { batch } | EventKind::RxPoll { batch } => {
+                s.push_str(&format!(" batch={batch}"));
+            }
+            EventKind::TxInterrupt | EventKind::TxPoll | EventKind::FrameDrop | EventKind::FrameCorrupt => {}
+        }
+        s
+    }
+}

@@ -1,0 +1,62 @@
+//! Observability substrate for the MultiEdge protocol stack.
+//!
+//! The paper's entire evaluation (Figures 2–6, Table 1) depends on seeing
+//! *inside* the protocol: out-of-order arrival fractions, ACK/retransmission
+//! overhead, interrupt-vs-poll absorption, fence-induced stalls, operation
+//! latency distributions. The flat [`ProtoStats`]-style counters answer
+//! "how many", but not "when", "to whom", or "how long". This crate supplies
+//! the missing three pieces:
+//!
+//! 1. **Structured event tracing** — [`Event`] / [`EventKind`]: typed
+//!    protocol events (frame send/recv, piggybacked and explicit ACKs,
+//!    NACKs, RTO fires, fence stalls and releases, interrupt vs. poll
+//!    absorption, link-level drops) carrying the simulation timestamp and
+//!    optional connection/link attribution, recorded into a fixed-capacity
+//!    wraparound [`EventRing`].
+//! 2. **Latency histograms** — [`LogHistogram`]: log2-bucketed with linear
+//!    sub-buckets (HdrHistogram-style, ≈3% relative error), mergeable, used
+//!    for op issue→completion latency, frame wire time, and fence-stall
+//!    duration, keyed per connection or per link.
+//! 3. **Reporters** — a human-readable summary/timeline dump
+//!    ([`report::summary`], [`report::timeline`]) and a dependency-free
+//!    JSON emitter ([`json::Json`], [`report::snapshot_to_json`]) that the
+//!    bench crate uses to write `BENCH_*.json` files carrying protocol
+//!    internals, not just wall time.
+//!
+//! The entry point is [`Tracer`]: a cheaply cloneable handle that is either
+//! *disabled* (a `None` — every record call is a single branch and no
+//! allocation, so instrumented hot paths cost nothing in production-style
+//! runs) or *enabled* (shared mutable state behind `Rc<RefCell>`; the whole
+//! simulator is single-threaded by design).
+//!
+//! ```
+//! use me_trace::{EventKind, Tracer};
+//!
+//! let t = Tracer::enabled(1024);
+//! t.emit(10, Some(0), Some(1), EventKind::FrameSend { seq: 0, retransmit: false });
+//! t.op_latency(0, 27_500);
+//! let snap = t.snapshot().unwrap();
+//! assert_eq!(snap.events.len(), 1);
+//! assert_eq!(snap.op_latency[&0].count(), 1);
+//! ```
+//!
+//! `ProtoStats` itself stays in the `multiedge` crate; this crate is
+//! deliberately dependency-free so both `netsim` (below the protocol) and
+//! `multiedge` (the protocol) can record into the same tracer.
+//!
+//! [`ProtoStats`]: https://docs.rs/multiedge
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod report;
+pub mod ring;
+mod tracer;
+
+pub use event::{Event, EventKind};
+pub use hist::LogHistogram;
+pub use json::Json;
+pub use ring::EventRing;
+pub use tracer::{TraceSnapshot, Tracer};

@@ -1,0 +1,184 @@
+//! Reporters: human-readable summary/timeline and the JSON form consumed by
+//! the bench harnesses.
+
+use crate::hist::LogHistogram;
+use crate::json::Json;
+use crate::tracer::TraceSnapshot;
+use std::collections::BTreeMap;
+
+/// Percentiles every report quotes, in order.
+const REPORT_PERCENTILES: [(&str, f64); 4] =
+    [("p50", 50.0), ("p90", 90.0), ("p99", 99.0), ("p999", 99.9)];
+
+fn hist_line(name: &str, h: &LogHistogram) -> String {
+    format!(
+        "  {name:<24} n={:<8} min={:<10} p50={:<10} p99={:<10} max={:<10} mean={:.1} ns",
+        h.count(),
+        h.min(),
+        h.percentile(50.0),
+        h.percentile(99.0),
+        h.max(),
+        h.mean()
+    )
+}
+
+/// Human-readable roll-up: event counts by kind, then every histogram with
+/// its headline percentiles.
+pub fn summary(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("trace summary\n");
+    out.push_str(&format!(
+        "  events retained: {} (plus {} overwritten by ring wraparound)\n",
+        snap.events.len(),
+        snap.overwritten
+    ));
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for e in &snap.events {
+        *by_kind.entry(e.kind.label()).or_default() += 1;
+    }
+    for (label, n) in &by_kind {
+        out.push_str(&format!("  {label:<16} {n}\n"));
+    }
+    if !snap.op_latency.is_empty() {
+        out.push_str("op latency (issue -> completion), per connection:\n");
+        for (conn, h) in &snap.op_latency {
+            out.push_str(&hist_line(&format!("conn {conn}"), h));
+            out.push('\n');
+        }
+    }
+    if !snap.wire_time.is_empty() {
+        out.push_str("frame wire time, per link:\n");
+        for (link, h) in &snap.wire_time {
+            out.push_str(&hist_line(&format!("link {link}"), h));
+            out.push('\n');
+        }
+    }
+    if !snap.fence_stall.is_empty() {
+        out.push_str("fence stall duration, per connection:\n");
+        for (conn, h) in &snap.fence_stall {
+            out.push_str(&hist_line(&format!("conn {conn}"), h));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Human-readable dump of the last `max_events` events, oldest first.
+pub fn timeline(snap: &TraceSnapshot, max_events: usize) -> String {
+    let mut out = String::new();
+    let skip = snap.events.len().saturating_sub(max_events);
+    if snap.overwritten > 0 || skip > 0 {
+        out.push_str(&format!(
+            "... {} earlier events not shown ...\n",
+            snap.overwritten + skip as u64
+        ));
+    }
+    for e in snap.events.iter().skip(skip) {
+        out.push_str(&e.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// JSON form of one histogram: count/min/max/mean plus the headline
+/// percentiles and the raw non-empty buckets (for re-aggregation).
+pub fn hist_to_json(h: &LogHistogram) -> Json {
+    let mut j = Json::obj()
+        .set("count", h.count())
+        .set("min_ns", h.min())
+        .set("max_ns", h.max())
+        .set("mean_ns", h.mean());
+    for (name, p) in REPORT_PERCENTILES {
+        j = j.set(&format!("{name}_ns"), h.percentile(p));
+    }
+    let buckets: Vec<Json> = h
+        .nonzero_buckets()
+        .into_iter()
+        .map(|(floor, count)| Json::Arr(vec![Json::from(floor), Json::from(count)]))
+        .collect();
+    j.set("buckets", buckets)
+}
+
+fn hist_map_to_json(map: &BTreeMap<u32, LogHistogram>) -> Json {
+    let mut obj = Json::obj();
+    for (k, h) in map {
+        obj = obj.set(&k.to_string(), hist_to_json(h));
+    }
+    obj
+}
+
+/// JSON form of a whole snapshot: per-kind event counts, the retained
+/// timeline, and all histogram families. This is what lands inside the
+/// bench crate's `BENCH_*.json` files.
+pub fn snapshot_to_json(snap: &TraceSnapshot) -> Json {
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for e in &snap.events {
+        *by_kind.entry(e.kind.label()).or_default() += 1;
+    }
+    let mut counts = Json::obj();
+    for (label, n) in &by_kind {
+        counts = counts.set(label, *n);
+    }
+    let events: Vec<Json> = snap
+        .events
+        .iter()
+        .map(|e| {
+            let mut j = Json::obj()
+                .set("t_ns", e.t_ns)
+                .set("kind", e.kind.label());
+            if let Some(c) = e.conn {
+                j = j.set("conn", c);
+            }
+            if let Some(l) = e.link {
+                j = j.set("link", l);
+            }
+            j
+        })
+        .collect();
+    Json::obj()
+        .set("events_retained", snap.events.len())
+        .set("events_overwritten", snap.overwritten)
+        .set("event_counts", counts)
+        .set("op_latency_ns_by_conn", hist_map_to_json(&snap.op_latency))
+        .set("wire_time_ns_by_link", hist_map_to_json(&snap.wire_time))
+        .set(
+            "fence_stall_ns_by_conn",
+            hist_map_to_json(&snap.fence_stall),
+        )
+        .set("events", events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::Tracer;
+
+    #[test]
+    fn summary_and_json_cover_all_sections() {
+        let t = Tracer::enabled(16);
+        t.emit(5, Some(0), None, EventKind::OpIssue { op: 1 });
+        t.emit(
+            9,
+            Some(0),
+            Some(2),
+            EventKind::FrameSend {
+                seq: 0,
+                retransmit: false,
+            },
+        );
+        t.op_latency(0, 30_000);
+        t.wire_time(2, 12_000);
+        t.fence_stall(0, 800);
+        let snap = t.snapshot().unwrap();
+        let s = summary(&snap);
+        assert!(s.contains("op_issue"), "{s}");
+        assert!(s.contains("frame wire time"), "{s}");
+        let j = snapshot_to_json(&snap).render();
+        assert!(j.contains("\"op_latency_ns_by_conn\""), "{j}");
+        assert!(j.contains("\"p99_ns\""), "{j}");
+        let tl = timeline(&snap, 1);
+        assert!(tl.contains("frame_send"), "{tl}");
+        assert!(tl.contains("earlier events"), "{tl}");
+    }
+}

@@ -2,10 +2,12 @@
 //! reordering, fault injection, fences, reads.
 
 use integration_tests::{payload, rig};
+use me_trace::EventKind;
 use multiedge::{OpFlags, SystemConfig};
 use netsim::FaultModel;
 
 #[test]
+#[allow(clippy::needless_range_loop)] // i/j jointly index the mesh
 fn all_to_all_transfers_on_eight_nodes() {
     let (sim, _cl, eps, conns) = rig(SystemConfig::one_link_1g(8));
     let n = eps.len();
@@ -172,4 +174,141 @@ fn sixteen_node_incast_congestion_recovers() {
     }
     let drops = cl.net.stats().drops_overflow;
     assert!(drops > 0, "15:1 incast should overflow the output port");
+}
+
+#[test]
+#[allow(clippy::needless_range_loop)] // i/j jointly index the mesh
+fn per_conn_stats_sum_to_global() {
+    // Exercise writes, reads and notifications on a 4-node mesh, then check
+    // that every endpoint's per-connection rollups add up to its global
+    // counters for all connection-attributable fields.
+    let (sim, _cl, eps, conns) = rig(SystemConfig::two_link_1g_unordered(4));
+    let n = eps.len();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let ep = eps[i].clone();
+            let conn = conns[i][j].unwrap();
+            let data = payload((i * 10 + j) as u64, 60_000);
+            sim.spawn(format!("mix-{i}-{j}"), async move {
+                let h = ep
+                    .write_bytes(conn, (i as u64) << 24, data, OpFlags::RELAXED.with_notify())
+                    .await;
+                h.wait().await;
+                let r = ep
+                    .read(conn, 0x9000, (i as u64) << 24, 5_000, OpFlags::RELAXED)
+                    .await;
+                r.wait().await;
+            });
+        }
+    }
+    sim.run().expect_quiescent();
+    for (idx, ep) in eps.iter().enumerate() {
+        let global = ep.stats();
+        let mut summed = multiedge::ProtoStats::default();
+        for c in 0..ep.conn_count() {
+            summed.merge(&ep.conn_stats(c));
+        }
+        let per_conn_view = |s: &multiedge::ProtoStats| {
+            [
+                s.ops_write,
+                s.ops_read,
+                s.bytes_written,
+                s.bytes_read,
+                s.data_frames_sent,
+                s.data_bytes_sent,
+                s.read_req_frames_sent,
+                s.explicit_acks_sent,
+                s.nacks_sent,
+                s.retransmits_nack,
+                s.retransmits_rto,
+                s.data_frames_recv,
+                s.ctrl_frames_recv,
+                s.dup_frames_recv,
+                s.ooo_arrivals,
+                s.notifications,
+            ]
+        };
+        assert_eq!(
+            per_conn_view(&summed),
+            per_conn_view(&global),
+            "node {idx}: per-connection stats must sum to the global block"
+        );
+        assert!(global.ops_write > 0 && global.ops_read > 0);
+    }
+}
+
+#[test]
+fn traced_pingpong_is_causally_ordered() {
+    // With tracing on, a two-node ping-pong must leave a causally consistent
+    // event timeline: issue before send, send before the peer's receive,
+    // receive before the originator's completion — with timestamps from the
+    // one shared simulated clock.
+    let iters = 5usize;
+    let cfg = SystemConfig::one_link_1g(2).with_tracing(4096);
+    let (sim, _cl, eps, conns) = rig(cfg);
+    let (a, b) = (eps[0].clone(), eps[1].clone());
+    let (c0, c1) = (conns[0][1].unwrap(), conns[1][0].unwrap());
+    sim.spawn("ping", async move {
+        for _ in 0..iters {
+            let h = a
+                .write_bytes(c0, 0x100, payload(1, 2_000), OpFlags::RELAXED.with_notify())
+                .await;
+            a.next_notification().await.expect("pong");
+            h.wait().await;
+        }
+    });
+    sim.spawn("pong", async move {
+        for _ in 0..iters {
+            b.next_notification().await.expect("ping");
+            let h = b
+                .write_bytes(c1, 0x200, payload(2, 2_000), OpFlags::RELAXED.with_notify())
+                .await;
+            h.wait().await;
+        }
+    });
+    sim.run().expect_quiescent();
+
+    let snap0 = eps[0].tracer().snapshot().expect("tracing enabled");
+    let snap1 = eps[1].tracer().snapshot().expect("tracing enabled");
+    assert_eq!(snap0.overwritten + snap1.overwritten, 0, "ring too small");
+
+    // Each ring is an arrival-order timeline of one shared clock.
+    for snap in [&snap0, &snap1] {
+        let mut prev = 0u64;
+        for e in &snap.events {
+            assert!(e.t_ns >= prev, "timeline not monotone at {:?}", e);
+            prev = e.t_ns;
+        }
+    }
+
+    let first = |snap: &me_trace::TraceSnapshot, pred: &dyn Fn(&EventKind) -> bool| {
+        snap.events
+            .iter()
+            .find(|e| pred(&e.kind))
+            .map(|e| e.t_ns)
+            .expect("event kind present")
+    };
+    let issue0 = first(&snap0, &|k| matches!(k, EventKind::OpIssue { .. }));
+    let send0 = first(&snap0, &|k| matches!(k, EventKind::FrameSend { .. }));
+    let recv1 = first(&snap1, &|k| matches!(k, EventKind::FrameRecv { .. }));
+    let send1 = first(&snap1, &|k| matches!(k, EventKind::FrameSend { .. }));
+    let complete0 = first(&snap0, &|k| matches!(k, EventKind::OpComplete { .. }));
+    assert!(issue0 <= send0, "issue {issue0} after send {send0}");
+    assert!(send0 < recv1, "send {send0} not before peer recv {recv1}");
+    assert!(recv1 < send1, "pong sent {send1} before ping arrived {recv1}");
+    assert!(
+        recv1 < complete0,
+        "op completed at {complete0} before the frame even arrived at {recv1}"
+    );
+
+    // Both sides completed all their ops and recorded a latency per op.
+    for (snap, ep) in [(&snap0, &eps[0]), (&snap1, &eps[1])] {
+        let completes = snap.count_events(|k| matches!(k, EventKind::OpComplete { .. }));
+        assert_eq!(completes, iters as u64);
+        assert_eq!(snap.op_latency_merged().count(), iters as u64);
+        assert_eq!(ep.stats().ops_write, iters as u64);
+    }
 }

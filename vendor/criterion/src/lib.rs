@@ -1,0 +1,95 @@
+//! Vendored, dependency-free stand-in for the subset of `criterion` the
+//! component micro-benches use.
+//!
+//! The build environment has no registry access, so the real `criterion`
+//! cannot be resolved. This shim keeps [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] so the
+//! bench sources compile unchanged, and replaces the statistics machinery
+//! with a plain adaptive timing loop: each benchmark is warmed up, run until
+//! a minimum measured span is reached, and reported as mean ns/iteration on
+//! stdout. Good enough to *rank* hot-path changes; no outlier analysis, no
+//! HTML reports.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a benchmarked value (re-export of
+/// `std::hint::black_box` for parity with the real crate's API).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark registry/driver handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Time `f`'s [`Bencher::iter`] closure and print a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        match b.mean_ns {
+            Some(ns) => println!("{id:<40} {ns:>12.1} ns/iter ({} iters)", b.iters),
+            None => println!("{id:<40} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+/// Timing loop handle passed to the closure of
+/// [`Criterion::bench_function`].
+#[derive(Default)]
+pub struct Bencher {
+    mean_ns: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`, adaptively choosing an iteration count so the
+    /// timed span is long enough for the clock to resolve.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates roughly how expensive one call is.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 10_000 {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) as u64 / warm_iters.max(1);
+        // Aim for ~60 ms of measurement, capped to keep giant kernels sane.
+        let target = (60_000_000u64 / per_iter.max(1)).clamp(10, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            std_black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = Some(elapsed.as_nanos() as f64 / target as f64);
+        self.iters = target;
+    }
+}
+
+/// Collect benchmark functions into a group runner, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

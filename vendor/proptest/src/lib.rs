@@ -1,0 +1,163 @@
+#![allow(clippy::type_complexity)] // mirrors upstream proptest signatures
+
+//! Vendored, dependency-free stand-in for the subset of `proptest` this
+//! workspace's property tests use.
+//!
+//! The build environment has no registry access, so the real `proptest`
+//! cannot be resolved. This shim keeps the same *surface* — the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! [`strategy::Just`], [`any`](strategy::any), range and tuple strategies,
+//! [`collection::vec`] / [`collection::btree_set`], [`prop_oneof!`] and the
+//! `prop_assert*` macros — so the existing property tests compile and run
+//! unchanged.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generating seed and
+//!   case index; re-running reproduces it exactly (generation is seeded from
+//!   the test name), but it is not minimized.
+//! * **No persistence/regression files.**
+//! * Case count defaults to 48 and can be overridden per-block with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` or globally with
+//!   the `PROPTEST_CASES` environment variable.
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body; on failure the current case
+/// is reported (with its message) and the test panics.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::core::result::Result::Err(format!(
+                "{}: `{:?}` != `{:?}`",
+                format!($($fmt)*),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Assert two values are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if *left == *right {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if *left == *right {
+            return ::core::result::Result::Err(format!(
+                "{}: `{:?}` == `{:?}`",
+                format!($($fmt)*),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Pick uniformly among several strategies producing the same value type.
+/// Only the unweighted `prop_oneof![a, b, c]` form is supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        $crate::strategy::Union::new(vec![
+            $({
+                let __s = $arm;
+                ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::generate(&__s, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            }),+
+        ])
+    }};
+}
+
+/// Define property tests. Supports the block form used in this repo:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(12))]
+///
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(x in 0u32..10, v in proptest::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run(stringify!($name), |__proptest_rng| {
+                let ($($pat,)+) = $crate::strategy::Strategy::generate(
+                    &($($strat,)+),
+                    __proptest_rng,
+                );
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,102 @@
+//! Deterministic case runner and its RNG.
+//!
+//! Each test gets a generator seeded from the test's *name*, so every run of
+//! the suite exercises the same cases (reproducible failures without
+//! persistence files), while different tests see different streams.
+
+/// Runner configuration. Only the case count is modelled.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The generator handed to strategies: SplitMix64, seeded per test + case.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator for one case.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Executes the configured number of cases for one property.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// Runner for `config`. The `PROPTEST_CASES` environment variable, when
+    /// set, overrides the configured case count.
+    pub fn new(config: ProptestConfig) -> Self {
+        let mut config = config;
+        if let Ok(v) = std::env::var("PROPTEST_CASES") {
+            if let Ok(n) = v.parse::<u32>() {
+                config.cases = n;
+            }
+        }
+        TestRunner { config }
+    }
+
+    /// Run `case` for every configured case index, panicking with the case's
+    /// seed and message on the first failure.
+    pub fn run<F>(&mut self, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), String>,
+    {
+        let base = fnv1a(name);
+        for i in 0..self.config.cases {
+            let seed = base ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut rng = TestRng::new(seed);
+            if let Err(msg) = case(&mut rng) {
+                panic!("proptest '{name}' failed at case {i} (seed {seed:#x}): {msg}");
+            }
+        }
+    }
+}
