@@ -4,7 +4,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: verify build test doc clippy bench-trace
+.PHONY: verify build test doc clippy bench-trace test-soak bench-failover
 
 verify: build test doc clippy
 
@@ -24,3 +24,15 @@ clippy:
 # event trace reconciles with the ProtoStats counters.
 bench-trace:
 	$(CARGO) bench $(OFFLINE) -p multiedge-bench --bench trace_pingpong
+
+# Seeded fault-injection soak: scripted outages, flaps, stalls and loss
+# bursts mid-transfer; exactly-once delivery, fence ordering, rail
+# re-admission and seed reproducibility (docs/FAULTS.md).
+test-soak:
+	$(CARGO) test $(OFFLINE) -p integration-tests --test fault_soak
+
+# Failover ablation: writes results/BENCH_failover.json (goodput
+# before/during/after a scripted rail outage, detection and re-admission
+# latency p50/p99) and asserts convergence to the surviving rail.
+bench-failover:
+	$(CARGO) bench $(OFFLINE) -p multiedge-bench --bench ablation_failover

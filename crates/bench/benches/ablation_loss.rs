@@ -1,15 +1,24 @@
-//! Ablation: transient frame-loss sweep.
+//! Ablation: transient frame-loss sweep — i.i.d. and bursty.
 //!
 //! §2.4 claims reliable completion under transient loss with low overhead
 //! (drops ≈20% of the already-small extra traffic in the paper's healthy
-//! network). This sweep injects increasing loss and reports goodput and
-//! recovery traffic.
+//! network). The first sweep injects increasing i.i.d. loss and reports
+//! goodput and recovery traffic. The second holds the *mean* loss rate
+//! fixed and reshapes it into Gilbert–Elliott bursts: the same average drop
+//! probability concentrated into bad-state episodes, which is what real
+//! failing links do. The shape matters: NACK-driven selective
+//! retransmission repairs a contiguous burst in a single gap-repair cycle,
+//! while the same mean spread as isolated i.i.d. drops pays the NACK delay
+//! once per scattered gap — so at equal mean, bursty loss keeps *more*
+//! goodput, at the price of occasional RTO-recovered episodes when a burst
+//! swallows the retransmissions too.
 
 use me_stats::table::{fmt_f, fmt_pct};
 use me_stats::Table;
 use multiedge::SystemConfig;
-use multiedge_bench::{run_micro, MicroKind};
-use netsim::FaultModel;
+use multiedge_bench::{run_micro, run_micro_with_plan, MicroKind};
+use netsim::time::Dur;
+use netsim::{FaultModel, FaultPlan, FaultTarget, GilbertElliott};
 
 fn main() {
     let mut t = Table::new(
@@ -32,5 +41,48 @@ fn main() {
         ]);
     }
     t.print();
+
+    // Same mean loss, different shape: i.i.d. vs Gilbert–Elliott bursts.
+    // Each GE model drops half the frames while in the bad state; the
+    // good→bad / bad→good rates are chosen so the stationary mean matches
+    // the i.i.d. column next to it.
+    let mut b = Table::new(
+        "Ablation: loss shape at matched mean (1L-1G one-way, 1MB ops)",
+        &["mean loss", "shape", "MB/s", "retransmits", "rto", "extra-frames"],
+    );
+    for (p_g2b, p_b2g) in [(5e-4, 0.2495), (5e-3, 0.2450)] {
+        let ge = GilbertElliott::bursty_loss(p_g2b, p_b2g, 0.5);
+        let mean = ge.mean_loss();
+        let mut cfg = SystemConfig::one_link_1g(2);
+        cfg.fault = FaultModel {
+            loss_rate: mean,
+            corrupt_rate: 0.0,
+        };
+        let iid = run_micro(&cfg, MicroKind::OneWay, 1 << 20, 12);
+        b.row(vec![
+            format!("{mean:.4}"),
+            "i.i.d.".to_string(),
+            fmt_f(iid.throughput_mb_s),
+            format!("{}", iid.proto.retransmits()),
+            format!("{}", iid.proto.retransmits_rto),
+            fmt_pct(iid.proto.extra_frame_fraction()),
+        ]);
+
+        let mut cfg = SystemConfig::one_link_1g(2);
+        cfg.fault = FaultModel::default();
+        let plan = FaultPlan::new().burst(Dur::ZERO, FaultTarget::Rail { rail: 0 }, ge);
+        let bursty = run_micro_with_plan(&cfg, MicroKind::OneWay, 1 << 20, 12, &plan);
+        b.row(vec![
+            format!("{mean:.4}"),
+            "bursty".to_string(),
+            fmt_f(bursty.throughput_mb_s),
+            format!("{}", bursty.proto.retransmits()),
+            format!("{}", bursty.proto.retransmits_rto),
+            fmt_pct(bursty.proto.extra_frame_fraction()),
+        ]);
+    }
+    b.print();
     println!("expected: goodput degrades gracefully; all transfers still complete exactly");
+    println!("expected: at equal mean loss, clustered (bursty) drops repair in fewer NACK");
+    println!("          cycles than scattered i.i.d. drops and so retain more goodput");
 }

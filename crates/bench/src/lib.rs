@@ -11,4 +11,4 @@ pub mod appfig;
 pub mod micro;
 
 pub use appfig::{app_figure, workloads_for_env};
-pub use micro::{default_iters, fig2_sizes, run_micro, MicroKind, MicroResult};
+pub use micro::{default_iters, fig2_sizes, run_micro, run_micro_with_plan, MicroKind, MicroResult};

@@ -9,7 +9,7 @@
 
 use multiedge::{Endpoint, OpFlags, SystemConfig};
 use netsim::sync::join_all;
-use netsim::{build_cluster, NetStats, Sim};
+use netsim::{build_cluster, FaultPlan, NetStats, Sim};
 use std::rc::Rc;
 
 /// Which micro-benchmark to run.
@@ -71,6 +71,19 @@ pub fn default_iters(size: usize) -> usize {
 
 /// Run one micro-benchmark cell. `cfg.nodes` is forced to 2.
 pub fn run_micro(cfg: &SystemConfig, kind: MicroKind, size: usize, iters: usize) -> MicroResult {
+    run_micro_with_plan(cfg, kind, size, iters, &FaultPlan::new())
+}
+
+/// Like [`run_micro`], but arms a scripted [`FaultPlan`] on the cluster
+/// before the drivers start, so the transfer runs through the scripted
+/// outages/bursts. An empty plan is exactly `run_micro`.
+pub fn run_micro_with_plan(
+    cfg: &SystemConfig,
+    kind: MicroKind,
+    size: usize,
+    iters: usize,
+    plan: &FaultPlan,
+) -> MicroResult {
     let mut cfg = cfg.clone();
     cfg.nodes = 2;
     let sim = Sim::new(cfg.seed);
@@ -82,6 +95,7 @@ pub fn run_micro(cfg: &SystemConfig, kind: MicroKind, size: usize, iters: usize)
         // tracer (all endpoint tracers are independent; the network gets one).
         cluster.net.set_tracer(eps[0].tracer());
     }
+    cluster.apply_fault_plan(&sim, plan);
     let (c0, c1) = Endpoint::connect(&eps[0], &eps[1]);
 
     // Average host-initiation overhead is measured inside the driver tasks.

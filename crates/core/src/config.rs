@@ -19,10 +19,27 @@ pub struct ProtoConfig {
     pub nack_delay: Dur,
     /// Minimum spacing between NACKs for the same missing range.
     pub nack_repeat: Dur,
-    /// Coarse-grain retransmission timeout: if no acknowledgement progress
-    /// for this long while frames are unacknowledged, retransmit the last
-    /// transmitted frame (§2.4).
-    pub retransmit_timeout: Dur,
+    /// Initial coarse-grain retransmission timeout, used until the adaptive
+    /// RFC 6298-style estimator ([`crate::rtt::RttEstimator`]) has its first
+    /// RTT sample. If no acknowledgement progress happens for the current
+    /// (adaptive, backed-off) timeout while frames are unacknowledged, the
+    /// last transmitted frame is retransmitted (§2.4).
+    pub rto_initial: Dur,
+    /// Lower clamp on the adaptive retransmission timeout. Keep above the
+    /// NACK delay so ordinary multi-rail skew is always recovered by the
+    /// cheaper NACK path first.
+    pub rto_min: Dur,
+    /// Upper clamp on the adaptive timeout after exponential backoff.
+    pub rto_max: Dur,
+    /// Consecutive losses attributed to one rail after which it is marked
+    /// *degraded* (visible in health state; still striped onto).
+    pub rail_degraded_after: u32,
+    /// Consecutive attributed losses after which a rail is declared *dead*
+    /// and excluded from striping until a re-admission probe succeeds.
+    pub rail_dead_after: u32,
+    /// How long a dead rail sits out before one probe frame may test it for
+    /// re-admission.
+    pub rail_cooldown: Dur,
     /// Force both fences on every operation (the paper's strictly-ordered
     /// 2L mode, as opposed to the relaxed 2Lu mode).
     pub force_ordered: bool,
@@ -47,7 +64,12 @@ impl Default for ProtoConfig {
             // yet far below the 10 ms coarse timeout.
             nack_delay: us_f64(2_000.0),
             nack_repeat: us_f64(4_000.0),
-            retransmit_timeout: netsim::time::ms(10),
+            rto_initial: netsim::time::ms(10),
+            rto_min: netsim::time::ms(2),
+            rto_max: netsim::time::ms(100),
+            rail_degraded_after: 3,
+            rail_dead_after: 8,
+            rail_cooldown: netsim::time::ms(20),
             force_ordered: false,
             max_payload: frame::MAX_PAYLOAD,
             sched: crate::sched::SchedPolicy::RoundRobin,
@@ -215,7 +237,9 @@ impl SystemConfig {
         self.link.bytes_per_sec * self.rails as f64 / 1e6
     }
 
-    /// The netsim cluster spec for this configuration.
+    /// The netsim cluster spec for this configuration. The network's fault
+    /// RNG seed is derived deterministically from [`Self::seed`], so the
+    /// same config seed reproduces the same loss/corruption/burst pattern.
     pub fn cluster_spec(&self) -> netsim::ClusterSpec {
         netsim::ClusterSpec {
             nodes: self.nodes,
@@ -223,6 +247,7 @@ impl SystemConfig {
             link: self.link,
             switch_delay: self.switch_delay,
             fault: self.fault,
+            fault_seed: self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xFA17,
         }
     }
 }

@@ -22,8 +22,10 @@ use crate::config::SystemConfig;
 use crate::memory::AppMemory;
 use crate::ops::{Notification, OpFlags, OpHandle, OpKind};
 use crate::order::{FragMeta, OpOrdering};
+use crate::railhealth::{RailEvent, RailSet, RailState};
 use crate::recvseq::{Admit, SeqTracker};
-use crate::sched::{LinkScheduler, SchedPolicy};
+use crate::rtt::RttEstimator;
+use crate::sched::LinkScheduler;
 use crate::seqspace::{from_wire, to_wire};
 use crate::stats::{CpuSnapshot, ProtoStats};
 use bytes::Bytes;
@@ -44,6 +46,16 @@ struct FragPayload {
     kind: FrameKind,
     addr: u64,
     data: Bytes,
+}
+
+/// Transmission bookkeeping for one outstanding frame: which rail carried
+/// its latest copy, when, and whether any copy was a retransmission (Karn's
+/// algorithm forbids RTT samples from those).
+#[derive(Debug, Clone, Copy)]
+struct SentInfo {
+    rail: usize,
+    sent_at: SimTime,
+    retransmitted: bool,
 }
 
 /// Metadata retained per receiving operation until it completes.
@@ -85,6 +97,18 @@ struct Conn {
     /// Last time the cumulative ack advanced (for the coarse timeout).
     last_progress: SimTime,
     rto_armed: bool,
+    /// Which rail carried each outstanding frame's latest copy — the
+    /// attribution table that lets NACK retransmits and RTO hits debit the
+    /// right rail and first-transmission acks feed the RTT estimator.
+    sent_info: HashMap<u64, SentInfo>,
+    /// Per-rail health state machine driving the striping eligibility mask.
+    rails: RailSet,
+    /// Rail that most recently delivered any frame from the peer; control
+    /// frames (acks, nacks) are sent back along it (reverse-path routing),
+    /// so they avoid rails the peer has stopped using.
+    last_rx_rail: Option<usize>,
+    /// Adaptive retransmission timeout (RFC 6298-style SRTT/RTTVAR).
+    rtt: RttEstimator,
 
     // ---- receive direction ----
     seqs: SeqTracker,
@@ -111,7 +135,7 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(peer_node: usize, policy: SchedPolicy) -> Self {
+    fn new(peer_node: usize, proto: &crate::config::ProtoConfig, nrails: usize) -> Self {
         Self {
             peer_node,
             peer_conn_id: 0,
@@ -123,9 +147,18 @@ impl Conn {
             last_fwd_op: None,
             pending_write_ops: VecDeque::new(),
             pending_reads: HashMap::new(),
-            sched: LinkScheduler::new(policy),
+            sched: LinkScheduler::new(proto.sched),
             last_progress: SimTime::ZERO,
             rto_armed: false,
+            sent_info: HashMap::new(),
+            rails: RailSet::new(
+                nrails,
+                proto.rail_degraded_after,
+                proto.rail_dead_after,
+                proto.rail_cooldown,
+            ),
+            last_rx_rail: None,
+            rtt: RttEstimator::new(proto.rto_initial, proto.rto_min, proto.rto_max),
             seqs: SeqTracker::new(),
             order: OpOrdering::new(),
             op_meta: HashMap::new(),
@@ -252,14 +285,14 @@ impl Endpoint {
         let (node_a, node_b) = (a.node(), b.node());
         let ida = {
             let mut ia = a.inner.borrow_mut();
-            let policy = ia.cfg.proto.sched;
-            ia.conns.push(Conn::new(node_b, policy));
+            let conn = Conn::new(node_b, &ia.cfg.proto, ia.nics.len());
+            ia.conns.push(conn);
             ia.conns.len() - 1
         };
         let idb = {
             let mut ib = b.inner.borrow_mut();
-            let policy = ib.cfg.proto.sched;
-            ib.conns.push(Conn::new(node_a, policy));
+            let conn = Conn::new(node_a, &ib.cfg.proto, ib.nics.len());
+            ib.conns.push(conn);
             ib.conns.len() - 1
         };
         a.inner.borrow_mut().conns[ida].peer_conn_id = idb as u32;
@@ -270,6 +303,29 @@ impl Endpoint {
     /// Peer node of connection `conn`.
     pub fn conn_peer(&self, conn: usize) -> usize {
         self.inner.borrow().conns[conn].peer_node
+    }
+
+    /// Health state of every rail, from connection `conn`'s sending side.
+    pub fn rail_states(&self, conn: usize) -> Vec<RailState> {
+        let inner = self.inner.borrow();
+        let c = &inner.conns[conn];
+        (0..c.rails.len()).map(|r| c.rails.state(r)).collect()
+    }
+
+    /// Number of rails connection `conn` currently stripes onto (not dead).
+    pub fn active_rails(&self, conn: usize) -> usize {
+        self.inner.borrow().conns[conn].rails.active_rails()
+    }
+
+    /// Connection `conn`'s current adaptive retransmission timeout
+    /// (including any accumulated backoff).
+    pub fn current_rto(&self, conn: usize) -> Dur {
+        self.inner.borrow().conns[conn].rtt.current_rto()
+    }
+
+    /// Connection `conn`'s smoothed RTT, once at least one sample exists.
+    pub fn srtt(&self, conn: usize) -> Option<Dur> {
+        self.inner.borrow().conns[conn].rtt.srtt()
     }
 
     /// Write directly into this node's local memory (models the application
@@ -776,6 +832,17 @@ impl Endpoint {
     fn apply_rx(&self, f: Frame) {
         let now = self.sim.now();
         let conn = f.header.conn as usize;
+        {
+            // Remember which rail delivered this frame: control frames are
+            // sent back along the reverse path, so during a rail outage
+            // acks and nacks follow the rails that demonstrably work
+            // instead of blackholing on the dead one.
+            let mut inner = self.inner.borrow_mut();
+            let rail = f.dst.rail as usize;
+            if rail < inner.nics.len() {
+                inner.conns[conn].last_rx_rail = Some(rail);
+            }
+        }
         // 1. Piggybacked cumulative ack (every frame carries one).
         self.process_ack(conn, f.header.ack, now);
         match f.header.kind {
@@ -811,9 +878,30 @@ impl Endpoint {
             if ack <= c.acked || ack > c.next_seq {
                 return;
             }
+            let old_acked = c.acked;
             c.acked = ack;
             c.last_progress = now;
             c.sent_up_to = c.sent_up_to.max(ack);
+            // Credit the rails that carried the newly-covered frames, and
+            // take an RTT sample from the freshest first-transmission frame
+            // (Karn's algorithm: retransmitted frames have ambiguous acks).
+            let mut rail_events: Vec<RailEvent> = Vec::new();
+            let mut rtt_sample = None;
+            for seq in old_acked..ack {
+                let Some(si) = c.sent_info.remove(&seq) else {
+                    continue;
+                };
+                if !si.retransmitted {
+                    rtt_sample = Some(now.since(si.sent_at));
+                }
+                if let Some(ev) = c.rails.on_ack(si.rail, seq) {
+                    rail_events.push(ev);
+                }
+            }
+            match rtt_sample {
+                Some(s) => c.rtt.on_sample(s),
+                None => c.rtt.on_progress(),
+            }
             while c
                 .outstanding
                 .first_key_value()
@@ -836,6 +924,19 @@ impl Endpoint {
                 None,
                 EventKind::AckPiggyback { ack },
             );
+            for ev in rail_events {
+                let RailEvent::Readmitted(rail) = ev else {
+                    continue;
+                };
+                inner.stats.rail_up_events += 1;
+                inner.conns[conn].stats.rail_up_events += 1;
+                inner.tracer.emit(
+                    now.as_nanos(),
+                    Some(conn as u32),
+                    Some(rail as u32),
+                    EventKind::RailUp { rail: rail as u32 },
+                );
+            }
             let sends = inner.pump_send(conn, &self.net, &self.sim, true);
             (sends, completed)
         };
@@ -895,11 +996,38 @@ impl Endpoint {
                     }
                 }
             }
+            let now = self.sim.now();
+            // Each NACKed frame is a loss attributed to the rail that last
+            // carried it — debit before the retransmit reassigns the rail.
+            let mut rail_events: Vec<RailEvent> = Vec::new();
+            {
+                let c = &mut inner.conns[conn];
+                for &seq in &to_resend {
+                    if let Some(si) = c.sent_info.get(&seq).copied() {
+                        if let Some(ev) = c.rails.on_loss(si.rail, seq, now) {
+                            rail_events.push(ev);
+                        }
+                    }
+                }
+            }
+            for ev in rail_events {
+                let RailEvent::Dead(rail) = ev else {
+                    continue;
+                };
+                inner.stats.rail_down_events += 1;
+                inner.conns[conn].stats.rail_down_events += 1;
+                inner.tracer.emit(
+                    now.as_nanos(),
+                    Some(conn as u32),
+                    Some(rail as u32),
+                    EventKind::RailDown { rail: rail as u32 },
+                );
+            }
             let n = to_resend.len() as u64;
             inner.stats.retransmits_nack += n;
             inner.conns[conn].stats.retransmits_nack += n;
             inner.tracer.emit(
-                self.sim.now().as_nanos(),
+                now.as_nanos(),
                 Some(conn as u32),
                 None,
                 EventKind::NackRecv {
@@ -947,8 +1075,15 @@ impl Endpoint {
                     duplicate = true;
                 }
                 Admit::New { in_order } => {
+                    let bytes = if f.header.kind == FrameKind::ReadRequest {
+                        0
+                    } else {
+                        f.payload.len() as u64
+                    };
                     inner.stats.data_frames_recv += 1;
+                    inner.stats.data_bytes_recv += bytes;
                     inner.conns[conn].stats.data_frames_recv += 1;
+                    inner.conns[conn].stats.data_bytes_recv += bytes;
                     if !in_order {
                         inner.stats.ooo_arrivals += 1;
                         inner.conns[conn].stats.ooo_arrivals += 1;
@@ -1242,9 +1377,19 @@ impl Endpoint {
                 remote_addr: 0,
                 aux: 0,
             };
-            let rail = c
-                .sched
-                .pick(&nics, &self.net, |n| self.sim.with_rng(|r| r.gen_range(0..n)));
+            // Reverse-path routing: reply on the rail the peer's frames are
+            // arriving on — it is demonstrably alive in at least one
+            // direction, unlike a blind round-robin pick that would land
+            // half the control traffic on a dead rail during an outage.
+            let rail = match c.last_rx_rail {
+                Some(r) if r < nics.len() => r,
+                _ => {
+                    let mask = c.rails.eligible_mask(self.sim.now());
+                    c.sched.pick(&nics, &self.net, mask, |n| {
+                        self.sim.with_rng(|r| r.gen_range(0..n))
+                    })
+                }
+            };
             let f = Frame {
                 src: MacAddr::new(node as u16, rail as u8),
                 dst: MacAddr::new(c.peer_node as u16, rail as u8),
@@ -1342,9 +1487,19 @@ impl Endpoint {
                 remote_addr: 0,
                 aux: 0,
             };
-            let rail = c
-                .sched
-                .pick(&nics, &self.net, |n| self.sim.with_rng(|r| r.gen_range(0..n)));
+            // Reverse-path routing: reply on the rail the peer's frames are
+            // arriving on — it is demonstrably alive in at least one
+            // direction, unlike a blind round-robin pick that would land
+            // half the control traffic on a dead rail during an outage.
+            let rail = match c.last_rx_rail {
+                Some(r) if r < nics.len() => r,
+                _ => {
+                    let mask = c.rails.eligible_mask(self.sim.now());
+                    c.sched.pick(&nics, &self.net, mask, |n| {
+                        self.sim.with_rng(|r| r.gen_range(0..n))
+                    })
+                }
+            };
             let f = Frame {
                 src: MacAddr::new(node as u16, rail as u8),
                 dst: MacAddr::new(c.peer_node as u16, rail as u8),
@@ -1375,7 +1530,7 @@ impl Endpoint {
             }
         };
         if arm {
-            let rto = self.inner.borrow().cfg.proto.retransmit_timeout;
+            let rto = self.inner.borrow().conns[conn].rtt.current_rto();
             let ep = self.clone();
             self.sim.schedule_in(rto, move |_| ep.rto_fire(conn));
         }
@@ -1384,26 +1539,55 @@ impl Endpoint {
     fn rto_fire(&self, conn: usize) {
         let (resend, rearm) = {
             let mut inner = self.inner.borrow_mut();
-            let rto = inner.cfg.proto.retransmit_timeout;
             let per = inner.cfg.cost.frame_build + inner.cfg.cost.dma_post;
             let now = self.sim.now();
             let c = &mut inner.conns[conn];
             c.rto_armed = false;
             if c.acked == c.next_seq {
                 (None, false)
-            } else if now.since(c.last_progress) >= rto && c.sent_up_to > c.acked {
+            } else if now.since(c.last_progress) >= c.rtt.current_rto() && c.sent_up_to > c.acked {
                 // §2.4: retransmit the last transmitted frame; the receiver
                 // will NACK anything else that is missing.
                 let seq = c.sent_up_to - 1;
                 c.last_progress = now;
                 c.stats.retransmits_rto += 1;
+                // A timeout means the whole window went unanswered: back the
+                // timer off exponentially and debit the rail that carried
+                // the frame we are about to retransmit.
+                let backoff = c.rtt.on_timeout();
+                let rto_ns = c.rtt.current_rto().as_nanos();
+                c.stats.rto_backoff_max = c.stats.rto_backoff_max.max(backoff as u64);
+                let rail_ev = c
+                    .sent_info
+                    .get(&seq)
+                    .copied()
+                    .and_then(|si| c.rails.on_loss(si.rail, seq, now));
+                if rail_ev.is_some() {
+                    c.stats.rail_down_events += 1;
+                }
                 inner.stats.retransmits_rto += 1;
+                inner.stats.rto_backoff_max = inner.stats.rto_backoff_max.max(backoff as u64);
                 inner.tracer.emit(
                     now.as_nanos(),
                     Some(conn as u32),
                     None,
                     EventKind::RtoFire { seq },
                 );
+                inner.tracer.emit(
+                    now.as_nanos(),
+                    Some(conn as u32),
+                    None,
+                    EventKind::RtoBackoff { rto_ns, backoff },
+                );
+                if let Some(RailEvent::Dead(rail)) = rail_ev {
+                    inner.stats.rail_down_events += 1;
+                    inner.tracer.emit(
+                        now.as_nanos(),
+                        Some(conn as u32),
+                        Some(rail as u32),
+                        EventKind::RailDown { rail: rail as u32 },
+                    );
+                }
                 inner.cpu_proto.account(per);
                 (
                     inner.prepare_transmit(conn, seq, true, &self.net, &self.sim),
@@ -1417,8 +1601,11 @@ impl Endpoint {
             self.dispatch(vec![s]);
         }
         if rearm {
-            self.inner.borrow_mut().conns[conn].rto_armed = true;
-            let rto = self.inner.borrow().cfg.proto.retransmit_timeout;
+            let rto = {
+                let mut inner = self.inner.borrow_mut();
+                inner.conns[conn].rto_armed = true;
+                inner.conns[conn].rtt.current_rto()
+            };
             let ep = self.clone();
             self.sim.schedule_in(rto, move |_| ep.rto_fire(conn));
         }
@@ -1490,9 +1677,21 @@ impl EndpointInner {
         if retransmit {
             f.header.flags |= FrameFlags::RETRANSMIT;
         }
+        let mask = c.rails.eligible_mask(sim.now());
         let rail = c
             .sched
-            .pick(&nics, net, |n| sim.with_rng(|r| r.gen_range(0..n)));
+            .pick(&nics, net, mask, |n| sim.with_rng(|r| r.gen_range(0..n)));
+        c.rails.note_sent(rail, seq);
+        let ever_retransmitted =
+            retransmit || c.sent_info.get(&seq).is_some_and(|si| si.retransmitted);
+        c.sent_info.insert(
+            seq,
+            SentInfo {
+                rail,
+                sent_at: sim.now(),
+                retransmitted: ever_retransmitted,
+            },
+        );
         f.src = MacAddr::new(node as u16, rail as u8);
         f.dst = MacAddr::new(c.peer_node as u16, rail as u8);
         self.tracer.emit(
@@ -1752,7 +1951,7 @@ mod tests {
             loss_rate: 0.30,
             corrupt_rate: 0.0,
         };
-        cfg.proto.retransmit_timeout = ms(2);
+        cfg.proto.rto_initial = ms(2);
         cfg.seed = 99;
         let (sim, _cluster, eps, (c0, _)) = rig(cfg);
         let a = eps[0].clone();

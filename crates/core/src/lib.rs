@@ -21,6 +21,11 @@
 //! * **Interrupt minimization** — receive/transmit events arriving while the
 //!   protocol thread is active are absorbed by polling; only events that find
 //!   it idle pay interrupt cost (§2.6 of the paper).
+//! * **Failure resilience** — per-rail health tracking fed by loss
+//!   attribution ([`RailState`]): rails that keep losing frames are excluded
+//!   from striping and probed back in after a cooldown, while an adaptive
+//!   RFC 6298-style retransmission timeout with exponential backoff
+//!   ([`rtt::RttEstimator`]) replaces the paper's fixed coarse timer.
 //!
 //! # Quick start
 //!
@@ -51,7 +56,9 @@ pub mod endpoint;
 pub mod memory;
 pub mod ops;
 pub mod order;
+pub mod railhealth;
 pub mod recvseq;
+pub mod rtt;
 pub mod sched;
 pub mod seqspace;
 pub mod stats;
@@ -61,5 +68,7 @@ pub use config::{CostModel, ProtoConfig, SystemConfig};
 pub use endpoint::Endpoint;
 pub use memory::{AppMemory, PAGE_SIZE};
 pub use ops::{Notification, OpFlags, OpHandle, OpKind};
+pub use railhealth::{RailEvent, RailSet, RailState};
+pub use rtt::RttEstimator;
 pub use sched::{LinkScheduler, SchedPolicy};
 pub use stats::{CpuSnapshot, ProtoStats};

@@ -1,0 +1,170 @@
+//! Adaptive retransmission-timeout estimation.
+//!
+//! RFC 6298-style SRTT/RTTVAR smoothing with exponential backoff, adapted
+//! to simulator timescales. The paper's prototype used a fixed 10 ms coarse
+//! timer; that is exactly one adaptive-RTO *initial* value here — once RTT
+//! samples flow from the frame-ACK path the timeout tracks the real path
+//! delay (serialization + switching + host costs + queueing), so a dead
+//! rail is detected in a couple of milliseconds instead of ten, while a
+//! congested-but-alive path raises the timeout instead of spuriously
+//! retransmitting.
+//!
+//! Karn's algorithm is applied by the caller: retransmitted frames never
+//! produce samples (their ACK is ambiguous), which is why
+//! [`RttEstimator::on_sample`] is only fed from first-transmission ACKs.
+
+use netsim::time::Dur;
+
+/// RTT smoothing constants from RFC 6298 (§2): `SRTT ← 7/8·SRTT + 1/8·R`,
+/// `RTTVAR ← 3/4·RTTVAR + 1/4·|SRTT − R|`, `RTO = SRTT + 4·RTTVAR`.
+const ALPHA: f64 = 1.0 / 8.0;
+const BETA: f64 = 1.0 / 4.0;
+const K: f64 = 4.0;
+
+/// Smoothed round-trip estimator producing the retransmission timeout.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    initial: Dur,
+    min: Dur,
+    max: Dur,
+    /// Smoothed RTT in ns; `None` until the first sample.
+    srtt_ns: Option<f64>,
+    /// RTT variance in ns.
+    rttvar_ns: f64,
+    /// Consecutive timeouts since the last sample or ack progress.
+    backoff: u32,
+}
+
+impl RttEstimator {
+    /// Estimator starting at `initial` and clamping the timeout (after
+    /// backoff) to `[min, max]`.
+    pub fn new(initial: Dur, min: Dur, max: Dur) -> Self {
+        Self {
+            initial,
+            min,
+            max,
+            srtt_ns: None,
+            rttvar_ns: 0.0,
+            backoff: 0,
+        }
+    }
+
+    /// Feed one RTT measurement from a first-transmission ACK (Karn's
+    /// algorithm: never call this for a retransmitted frame). Clears any
+    /// accumulated backoff.
+    pub fn on_sample(&mut self, rtt: Dur) {
+        let r = rtt.as_nanos() as f64;
+        match self.srtt_ns {
+            None => {
+                self.srtt_ns = Some(r);
+                self.rttvar_ns = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar_ns = (1.0 - BETA) * self.rttvar_ns + BETA * (srtt - r).abs();
+                self.srtt_ns = Some((1.0 - ALPHA) * srtt + ALPHA * r);
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// Cumulative-ack progress without a usable sample (e.g. the acked frame
+    /// was a retransmission): the path is alive, so stop backing off.
+    pub fn on_progress(&mut self) {
+        self.backoff = 0;
+    }
+
+    /// The retransmission timer fired without progress: double the timeout
+    /// (up to the cap). Returns the new consecutive-backoff count.
+    pub fn on_timeout(&mut self) -> u32 {
+        self.backoff = self.backoff.saturating_add(1);
+        self.backoff
+    }
+
+    /// Consecutive backoffs since the last progress.
+    pub fn backoff(&self) -> u32 {
+        self.backoff
+    }
+
+    /// Smoothed RTT, once at least one sample has arrived.
+    pub fn srtt(&self) -> Option<Dur> {
+        self.srtt_ns.map(|ns| Dur(ns as u64))
+    }
+
+    /// The current timeout: `SRTT + 4·RTTVAR` (or the initial value before
+    /// any sample), doubled per accumulated backoff, clamped to
+    /// `[min, max]`.
+    pub fn current_rto(&self) -> Dur {
+        let base = match self.srtt_ns {
+            None => self.initial.as_nanos() as f64,
+            Some(srtt) => srtt + K * self.rttvar_ns,
+        };
+        let shift = self.backoff.min(32);
+        let backed = base * (1u64 << shift) as f64;
+        let clamped = backed
+            .max(self.min.as_nanos() as f64)
+            .min(self.max.as_nanos() as f64);
+        Dur(clamped as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::time::{ms, us};
+
+    fn est() -> RttEstimator {
+        RttEstimator::new(ms(10), us(500), ms(100))
+    }
+
+    #[test]
+    fn starts_at_initial_and_adapts_down() {
+        let mut e = est();
+        assert_eq!(e.current_rto(), ms(10));
+        // A steady 100 µs RTT pulls the timeout to SRTT + 4·RTTVAR, well
+        // under the initial 10 ms but at least the 500 µs floor.
+        for _ in 0..32 {
+            e.on_sample(us(100));
+        }
+        let rto = e.current_rto();
+        assert!(rto < ms(2), "rto {rto:?} should adapt far below initial");
+        assert!(rto >= us(500), "rto {rto:?} must respect the floor");
+    }
+
+    #[test]
+    fn first_sample_sets_srtt_and_var() {
+        let mut e = est();
+        e.on_sample(us(200));
+        assert_eq!(e.srtt(), Some(us(200)));
+        // RTO = R + 4·(R/2) = 3R = 600 µs.
+        assert_eq!(e.current_rto(), us(600));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = est();
+        e.on_sample(us(200)); // rto 600 µs
+        assert_eq!(e.on_timeout(), 1);
+        assert_eq!(e.current_rto(), us(1200));
+        assert_eq!(e.on_timeout(), 2);
+        assert_eq!(e.current_rto(), us(2400));
+        for _ in 0..20 {
+            e.on_timeout();
+        }
+        assert_eq!(e.current_rto(), ms(100), "backoff must clamp at the cap");
+        e.on_progress();
+        assert_eq!(e.backoff(), 0);
+        assert_eq!(e.current_rto(), us(600));
+    }
+
+    #[test]
+    fn variance_widens_on_jittery_path() {
+        // A floor low enough not to mask the variance difference.
+        let mut steady = RttEstimator::new(ms(10), us(1), ms(100));
+        let mut jittery = RttEstimator::new(ms(10), us(1), ms(100));
+        for i in 0..64 {
+            steady.on_sample(us(100));
+            jittery.on_sample(if i % 2 == 0 { us(50) } else { us(150) });
+        }
+        assert!(jittery.current_rto() > steady.current_rto());
+    }
+}

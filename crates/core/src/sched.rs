@@ -23,6 +23,9 @@ pub enum SchedPolicy {
     Single(usize),
 }
 
+/// Eligibility mask meaning "every rail may carry the next frame".
+pub const ALL_RAILS: u64 = u64::MAX;
+
 /// Per-connection scheduler state.
 #[derive(Debug, Clone)]
 pub struct LinkScheduler {
@@ -37,32 +40,55 @@ impl LinkScheduler {
     }
 
     /// Pick the rail for the next frame. `nics` are the local NICs, one per
-    /// rail; `backlog` may be consulted for queue-aware policies.
+    /// rail; `backlog` may be consulted for queue-aware policies. `mask` is
+    /// the rail-health eligibility mask (bit r set = rail r may be used);
+    /// a mask that excludes every rail falls back to all rails — a fully
+    /// dead rail set must degrade to "keep trying", never to a stall.
+    /// [`SchedPolicy::Single`] ignores the mask: an explicit pin is an
+    /// operator decision that health tracking must not override.
     pub fn pick(
         &mut self,
         nics: &[NicId],
         net: &Network,
+        mask: u64,
         rng_draw: impl FnOnce(usize) -> usize,
     ) -> usize {
         debug_assert!(!nics.is_empty());
+        let all = if nics.len() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << nics.len()) - 1
+        };
+        let mask = if mask & all == 0 { all } else { mask & all };
+        let ok = |i: usize| mask & (1 << i) != 0;
         match self.policy {
             SchedPolicy::RoundRobin => {
-                let r = self.cursor % nics.len();
-                self.cursor = (self.cursor + 1) % nics.len();
+                let mut r = self.cursor % nics.len();
+                while !ok(r) {
+                    r = (r + 1) % nics.len();
+                }
+                self.cursor = (r + 1) % nics.len();
                 r
             }
-            SchedPolicy::Random => rng_draw(nics.len()),
+            SchedPolicy::Random => {
+                let eligible: Vec<usize> = (0..nics.len()).filter(|&i| ok(i)).collect();
+                eligible[rng_draw(eligible.len())]
+            }
             SchedPolicy::ShortestQueue => {
-                let mut best = self.cursor % nics.len();
+                let mut best = None;
                 let mut best_backlog = Dur(u64::MAX);
                 for off in 0..nics.len() {
                     let i = (self.cursor + off) % nics.len();
+                    if !ok(i) {
+                        continue;
+                    }
                     let b = net.nic_tx_backlog(nics[i]);
                     if b < best_backlog {
                         best_backlog = b;
-                        best = i;
+                        best = Some(i);
                     }
                 }
+                let best = best.unwrap_or(self.cursor % nics.len());
                 self.cursor = (best + 1) % nics.len();
                 best
             }
@@ -95,24 +121,51 @@ mod tests {
     fn round_robin_cycles() {
         let (net, nics) = net_with_nics(3);
         let mut s = LinkScheduler::new(SchedPolicy::RoundRobin);
-        let picks: Vec<_> = (0..7).map(|_| s.pick(&nics, &net, |_| 0)).collect();
+        let picks: Vec<_> = (0..7).map(|_| s.pick(&nics, &net, ALL_RAILS, |_| 0)).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn round_robin_skips_masked_out_rails() {
+        let (net, nics) = net_with_nics(3);
+        let mut s = LinkScheduler::new(SchedPolicy::RoundRobin);
+        // Rail 1 excluded: rotation degrades to 0, 2, 0, …
+        let picks: Vec<_> = (0..3).map(|_| s.pick(&nics, &net, 0b101, |_| 0)).collect();
+        assert_eq!(picks, vec![0, 2, 0]);
+        // Rail 1 re-admitted: the rotation picks it back up.
+        assert_eq!(s.pick(&nics, &net, ALL_RAILS, |_| 0), 1);
+    }
+
+    #[test]
+    fn empty_mask_falls_back_to_all_rails() {
+        let (net, nics) = net_with_nics(2);
+        let mut s = LinkScheduler::new(SchedPolicy::RoundRobin);
+        let picks: Vec<_> = (0..4).map(|_| s.pick(&nics, &net, 0, |_| 0)).collect();
+        assert_eq!(picks, vec![0, 1, 0, 1]);
     }
 
     #[test]
     fn single_pins_and_clamps() {
         let (net, nics) = net_with_nics(2);
         let mut s = LinkScheduler::new(SchedPolicy::Single(1));
-        assert_eq!(s.pick(&nics, &net, |_| 0), 1);
+        assert_eq!(s.pick(&nics, &net, ALL_RAILS, |_| 0), 1);
         let mut s = LinkScheduler::new(SchedPolicy::Single(9));
-        assert_eq!(s.pick(&nics, &net, |_| 0), 1);
+        assert_eq!(s.pick(&nics, &net, ALL_RAILS, |_| 0), 1);
+        // A pin overrides the health mask.
+        let mut s = LinkScheduler::new(SchedPolicy::Single(1));
+        assert_eq!(s.pick(&nics, &net, 0b01, |_| 0), 1);
     }
 
     #[test]
     fn random_uses_draw() {
         let (net, nics) = net_with_nics(4);
         let mut s = LinkScheduler::new(SchedPolicy::Random);
-        assert_eq!(s.pick(&nics, &net, |n| n - 1), 3);
+        assert_eq!(s.pick(&nics, &net, ALL_RAILS, |n| n - 1), 3);
+        // Draw happens over the eligible subset only.
+        let mut s = LinkScheduler::new(SchedPolicy::Random);
+        assert_eq!(s.pick(&nics, &net, 0b1010, |n| n - 1), 3);
+        let mut s = LinkScheduler::new(SchedPolicy::Random);
+        assert_eq!(s.pick(&nics, &net, 0b1010, |_| 0), 1);
     }
 
     #[test]
@@ -120,7 +173,7 @@ mod tests {
         let (net, nics) = net_with_nics(2);
         let mut s = LinkScheduler::new(SchedPolicy::ShortestQueue);
         // Both idle: first pick takes rail 0, advancing the cursor.
-        assert_eq!(s.pick(&nics, &net, |_| 0), 0);
+        assert_eq!(s.pick(&nics, &net, ALL_RAILS, |_| 0), 0);
         // Load rail 1 heavily by sending frames on it directly.
         for _ in 0..5 {
             let f = frame::Frame {
@@ -132,7 +185,9 @@ mod tests {
             net.nic_send(nics[1], f);
         }
         // Rail 0 is idle, rail 1 backlogged: always rail 0 now.
-        assert_eq!(s.pick(&nics, &net, |_| 0), 0);
-        assert_eq!(s.pick(&nics, &net, |_| 0), 0);
+        assert_eq!(s.pick(&nics, &net, ALL_RAILS, |_| 0), 0);
+        assert_eq!(s.pick(&nics, &net, ALL_RAILS, |_| 0), 0);
+        // Unless rail 0 is masked out by health tracking.
+        assert_eq!(s.pick(&nics, &net, 0b10, |_| 0), 1);
     }
 }

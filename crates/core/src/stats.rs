@@ -34,9 +34,22 @@ pub struct ProtoStats {
     pub retransmits_nack: u64,
     /// Frames retransmitted by the coarse timeout.
     pub retransmits_rto: u64,
+    /// Deepest consecutive exponential-backoff level the adaptive
+    /// retransmission timer reached (0 = never backed off): a stalled
+    /// connection shows up here instead of silently retrying forever.
+    pub rto_backoff_max: u64,
+    /// Rails this node's connections declared dead (excluded from
+    /// striping). Matches the `rail_down` trace events.
+    pub rail_down_events: u64,
+    /// Dead rails re-admitted after a successful probe. Matches the
+    /// `rail_up` trace events.
+    pub rail_up_events: u64,
 
     /// Data-bearing frames received (first copies only).
     pub data_frames_recv: u64,
+    /// Payload bytes in those frames (first copies only) — the numerator
+    /// for goodput measurements.
+    pub data_bytes_recv: u64,
     /// Control frames received (ACK/NACK).
     pub ctrl_frames_recv: u64,
     /// Duplicate frames received (unnecessary retransmissions).
@@ -76,7 +89,11 @@ impl ProtoStats {
         self.nacks_sent += o.nacks_sent;
         self.retransmits_nack += o.retransmits_nack;
         self.retransmits_rto += o.retransmits_rto;
+        self.rto_backoff_max = self.rto_backoff_max.max(o.rto_backoff_max);
+        self.rail_down_events += o.rail_down_events;
+        self.rail_up_events += o.rail_up_events;
         self.data_frames_recv += o.data_frames_recv;
+        self.data_bytes_recv += o.data_bytes_recv;
         self.ctrl_frames_recv += o.ctrl_frames_recv;
         self.dup_frames_recv += o.dup_frames_recv;
         self.ooo_arrivals += o.ooo_arrivals;

@@ -20,6 +20,9 @@
 //! * [`cpu`] — per-CPU busy-time accounting used to report the paper's
 //!   CPU-utilization figures.
 //! * [`topology`] — the paper's rail-shaped cluster builder.
+//! * [`faults`] — scripted, seed-deterministic fault plans layered on the
+//!   stationary model: timed link outages, flapping, NIC stalls, and
+//!   [`GilbertElliott`] burst loss/corruption ([`FaultPlan`]).
 //!
 //! # Example
 //!
@@ -38,12 +41,14 @@
 
 pub mod cpu;
 pub mod engine;
+pub mod faults;
 pub mod net;
 pub mod sync;
 pub mod time;
 pub mod topology;
 
 pub use engine::{RunReport, Sim, TaskId};
+pub use faults::{FaultAction, FaultEvent, FaultPlan, FaultTarget, GilbertElliott};
 pub use net::{ChannelParams, FaultModel, NetStats, Network, NicId, RxFrame};
 pub use time::{Dur, SimTime};
-pub use topology::{build_cluster, Cluster, ClusterSpec};
+pub use topology::{build_cluster, Cluster, ClusterSpec, DEFAULT_FAULT_SEED};

@@ -21,10 +21,11 @@
 //! treats them as damaged (checksum failure → NACK).
 
 use crate::engine::Sim;
+use crate::faults::{FaultAction, GilbertElliott};
 use crate::time::{Dur, SimTime};
 use frame::{Frame, MacAddr};
-use me_trace::{EventKind, Tracer};
-use rand::Rng;
+use me_trace::{EventKind, FaultKind, Tracer};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -121,9 +122,16 @@ struct ChannelState {
     tx_bytes: u64,
     drop_overflow: u64,
     drop_loss: u64,
+    drop_link_down: u64,
     corrupted: u64,
     /// Latest scheduled arrival: enforces FIFO delivery despite jitter.
     last_arrival: SimTime,
+    /// Administrative link state; frames are dropped while `false`.
+    link_up: bool,
+    /// Optional scripted burst-error process layered on the stationary model.
+    burst: Option<GilbertElliott>,
+    /// Current Gilbert–Elliott state (`true` = bad).
+    ge_bad: bool,
 }
 
 struct SwitchState {
@@ -135,10 +143,14 @@ struct SwitchState {
 struct NicState {
     mac: MacAddr,
     tx_channel: Option<ChannelId>,
+    /// The switch→NIC leg of this NIC's link (set by [`Network::connect`]).
+    rx_channel: Option<ChannelId>,
     rx_handler: Option<RxHandler>,
     tx_complete: Option<TxCompleteHandler>,
     rx_frames: u64,
     tx_submitted: u64,
+    /// Receive path frozen until this time (scripted NIC stall).
+    stall_until: SimTime,
 }
 
 /// Aggregate counters for a whole network.
@@ -146,8 +158,11 @@ struct NicState {
 pub struct NetStats {
     /// Frames dropped because an output queue overflowed (congestion).
     pub drops_overflow: u64,
-    /// Frames dropped by the random transient-loss process.
+    /// Frames dropped by the random transient-loss process (stationary
+    /// model or a scripted burst process).
     pub drops_loss: u64,
+    /// Frames dropped because a link was administratively down.
+    pub drops_link_down: u64,
     /// Frames delivered with injected corruption.
     pub corrupted: u64,
     /// Frames dropped at a switch due to an unknown destination.
@@ -163,6 +178,10 @@ struct NetInner {
     switches: Vec<SwitchState>,
     nics: Vec<NicState>,
     fault: FaultModel,
+    /// Dedicated RNG for every loss/corruption/burst-transition draw, kept
+    /// separate from the jitter RNG so a fault seed pins the loss pattern
+    /// regardless of unrelated timing randomness.
+    fault_rng: SmallRng,
     tracer: Tracer,
 }
 
@@ -174,8 +193,17 @@ pub struct Network {
 }
 
 impl Network {
-    /// Empty network attached to `sim`.
+    /// Empty network attached to `sim`, with the default fault seed.
     pub fn new(sim: &Sim, fault: FaultModel) -> Self {
+        Self::with_fault_seed(sim, fault, crate::topology::DEFAULT_FAULT_SEED)
+    }
+
+    /// Empty network whose loss/corruption/burst draws come from a dedicated
+    /// RNG seeded with `fault_seed`, independent of the simulator's jitter
+    /// RNG — so the loss pattern is reproducible for a given fault seed even
+    /// when unrelated timing randomness changes. Plumbed through
+    /// [`ClusterSpec::fault_seed`](crate::topology::ClusterSpec::fault_seed).
+    pub fn with_fault_seed(sim: &Sim, fault: FaultModel, fault_seed: u64) -> Self {
         Self {
             sim: sim.clone(),
             inner: Rc::new(RefCell::new(NetInner {
@@ -183,6 +211,7 @@ impl Network {
                 switches: Vec::new(),
                 nics: Vec::new(),
                 fault,
+                fault_rng: SmallRng::seed_from_u64(fault_seed),
                 tracer: Tracer::disabled(),
             })),
         }
@@ -214,10 +243,12 @@ impl Network {
         inner.nics.push(NicState {
             mac,
             tx_channel: None,
+            rx_channel: None,
             rx_handler: None,
             tx_complete: None,
             rx_frames: 0,
             tx_submitted: 0,
+            stall_until: SimTime::ZERO,
         });
         NicId(inner.nics.len() - 1)
     }
@@ -245,8 +276,12 @@ impl Network {
             tx_bytes: 0,
             drop_overflow: 0,
             drop_loss: 0,
+            drop_link_down: 0,
             corrupted: 0,
             last_arrival: SimTime::ZERO,
+            link_up: true,
+            burst: None,
+            ge_bad: false,
         });
         let down = ChannelId(inner.channels.len());
         inner.channels.push(ChannelState {
@@ -258,10 +293,15 @@ impl Network {
             tx_bytes: 0,
             drop_overflow: 0,
             drop_loss: 0,
+            drop_link_down: 0,
             corrupted: 0,
             last_arrival: SimTime::ZERO,
+            link_up: true,
+            burst: None,
+            ge_bad: false,
         });
         inner.nics[nic.0].tx_channel = Some(up);
+        inner.nics[nic.0].rx_channel = Some(down);
         let mac = inner.nics[nic.0].mac;
         inner.switches[switch.0].table.insert(mac, down);
     }
@@ -306,6 +346,16 @@ impl Network {
             let mut inner = self.inner.borrow_mut();
             let tracer = inner.tracer.clone();
             let c = &mut inner.channels[ch.0];
+            if !c.link_up {
+                c.drop_link_down += 1;
+                tracer.emit(
+                    now.as_nanos(),
+                    Some(f.header.conn),
+                    Some(f.src.rail as u32),
+                    EventKind::FrameDrop,
+                );
+                return false;
+            }
             if c.pending >= c.params.queue_cap {
                 c.drop_overflow += 1;
                 tracer.emit(
@@ -368,14 +418,21 @@ impl Network {
     }
 
     fn arrive(&self, sim: &Sim, ch: ChannelId, to: Endpoint, f: Frame) {
-        let (lost, corrupted) = {
-            let fault = self.inner.borrow().fault;
-            let lost = fault.loss_rate > 0.0 && sim.with_rng(|r| r.gen::<f64>()) < fault.loss_rate;
-            let corrupted = !lost
-                && fault.corrupt_rate > 0.0
-                && sim.with_rng(|r| r.gen::<f64>()) < fault.corrupt_rate;
-            (lost, corrupted)
-        };
+        // A frame still in flight when its link went down is lost with it.
+        {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.channels[ch.0].link_up {
+                inner.channels[ch.0].drop_link_down += 1;
+                inner.tracer.emit(
+                    sim.now().as_nanos(),
+                    Some(f.header.conn),
+                    Some(f.src.rail as u32),
+                    EventKind::FrameDrop,
+                );
+                return;
+            }
+        }
+        let (lost, corrupted) = self.decide_channel_fault(ch);
         if lost {
             let mut inner = self.inner.borrow_mut();
             inner.channels[ch.0].drop_loss += 1;
@@ -428,15 +485,122 @@ impl Network {
                 });
             }
             Endpoint::Nic(nic) => {
-                let handler = {
-                    let mut inner = self.inner.borrow_mut();
-                    inner.nics[nic.0].rx_frames += 1;
-                    inner.nics[nic.0].rx_handler.clone()
-                };
-                if let Some(h) = handler {
-                    h(sim, RxFrame { frame: f, corrupted });
+                self.deliver_to_nic(sim, nic, f, corrupted);
+            }
+        }
+    }
+
+    /// Decide loss/corruption for one channel traversal: stationary model
+    /// composed with the channel's burst process (if any), all drawn from
+    /// the dedicated fault RNG.
+    fn decide_channel_fault(&self, ch: ChannelId) -> (bool, bool) {
+        let mut inner = self.inner.borrow_mut();
+        let stationary = inner.fault;
+        let inner = &mut *inner;
+        let c = &mut inner.channels[ch.0];
+        let rng = &mut inner.fault_rng;
+        let mut loss_p = stationary.loss_rate;
+        let mut corrupt_p = stationary.corrupt_rate;
+        if let Some(ge) = c.burst {
+            let flip_p = if c.ge_bad {
+                ge.p_bad_to_good
+            } else {
+                ge.p_good_to_bad
+            };
+            if flip_p > 0.0 && rng.gen::<f64>() < flip_p {
+                c.ge_bad = !c.ge_bad;
+            }
+            let (gl, gc) = if c.ge_bad {
+                (ge.loss_bad, ge.corrupt_bad)
+            } else {
+                (ge.loss_good, ge.corrupt_good)
+            };
+            // Independent composition: survive both processes or be hit.
+            loss_p = 1.0 - (1.0 - loss_p) * (1.0 - gl);
+            corrupt_p = 1.0 - (1.0 - corrupt_p) * (1.0 - gc);
+        }
+        let lost = loss_p > 0.0 && rng.gen::<f64>() < loss_p;
+        let corrupted = !lost && corrupt_p > 0.0 && rng.gen::<f64>() < corrupt_p;
+        (lost, corrupted)
+    }
+
+    /// Hand a frame to `nic`'s receive handler, honoring any active receive
+    /// stall: frames arriving while stalled are re-scheduled to the stall's
+    /// end, preserving arrival order (the event heap is FIFO per timestamp).
+    fn deliver_to_nic(&self, sim: &Sim, nic: NicId, f: Frame, corrupted: bool) {
+        let stall_until = self.inner.borrow().nics[nic.0].stall_until;
+        if sim.now() < stall_until {
+            let this = self.clone();
+            sim.schedule_at(stall_until, move |sim| {
+                this.deliver_to_nic(sim, nic, f, corrupted);
+            });
+            return;
+        }
+        let handler = {
+            let mut inner = self.inner.borrow_mut();
+            inner.nics[nic.0].rx_frames += 1;
+            inner.nics[nic.0].rx_handler.clone()
+        };
+        if let Some(h) = handler {
+            h(sim, RxFrame { frame: f, corrupted });
+        }
+    }
+
+    /// Apply one scripted fault action to `nic`'s link (both directions for
+    /// link state and burst models; the NIC itself for stalls), emitting a
+    /// [`EventKind::FaultInjected`] trace event attributed to the NIC's rail.
+    pub fn apply_fault(&self, nic: NicId, action: FaultAction) {
+        let now = self.sim.now();
+        let mut inner = self.inner.borrow_mut();
+        let (up_ch, down_ch, rail) = {
+            let n = &inner.nics[nic.0];
+            (n.tx_channel, n.rx_channel, n.mac.rail as u32)
+        };
+        let kind = match action {
+            FaultAction::LinkDown | FaultAction::LinkUp => {
+                let up = matches!(action, FaultAction::LinkUp);
+                for ch in [up_ch, down_ch].into_iter().flatten() {
+                    inner.channels[ch.0].link_up = up;
+                }
+                if up {
+                    FaultKind::LinkUp
+                } else {
+                    FaultKind::LinkDown
                 }
             }
+            FaultAction::NicStall { dur } => {
+                let n = &mut inner.nics[nic.0];
+                n.stall_until = n.stall_until.max(now + dur);
+                FaultKind::NicStall
+            }
+            FaultAction::SetBurst { model } => {
+                for ch in [up_ch, down_ch].into_iter().flatten() {
+                    let c = &mut inner.channels[ch.0];
+                    c.burst = Some(model);
+                    c.ge_bad = false;
+                }
+                FaultKind::BurstModel
+            }
+            FaultAction::ClearBurst => {
+                for ch in [up_ch, down_ch].into_iter().flatten() {
+                    let c = &mut inner.channels[ch.0];
+                    c.burst = None;
+                    c.ge_bad = false;
+                }
+                FaultKind::BurstModel
+            }
+        };
+        inner
+            .tracer
+            .emit(now.as_nanos(), None, Some(rail), EventKind::FaultInjected { kind });
+    }
+
+    /// Whether `nic`'s link is administratively up (its transmit leg).
+    pub fn link_is_up(&self, nic: NicId) -> bool {
+        let inner = self.inner.borrow();
+        match inner.nics[nic.0].tx_channel {
+            Some(ch) => inner.channels[ch.0].link_up,
+            None => false,
         }
     }
 
@@ -450,6 +614,16 @@ impl Network {
             let mut inner = self.inner.borrow_mut();
             let tracer = inner.tracer.clone();
             let c = &mut inner.channels[ch.0];
+            if !c.link_up {
+                c.drop_link_down += 1;
+                tracer.emit(
+                    now.as_nanos(),
+                    Some(f.header.conn),
+                    Some(f.src.rail as u32),
+                    EventKind::FrameDrop,
+                );
+                return;
+            }
             if c.pending >= c.params.queue_cap {
                 c.drop_overflow += 1;
                 tracer.emit(
@@ -482,26 +656,26 @@ impl Network {
             });
         }
         let this = self.clone();
-        self.sim.schedule_at(arrival, move |sim| match to {
-            Endpoint::Nic(nic) => {
-                let handler = {
-                    let mut inner = this.inner.borrow_mut();
-                    inner.nics[nic.0].rx_frames += 1;
-                    inner.nics[nic.0].rx_handler.clone()
-                };
-                if let Some(h) = handler {
-                    h(
-                        sim,
-                        RxFrame {
-                            frame: f,
-                            corrupted: true,
-                        },
+        self.sim.schedule_at(arrival, move |sim| {
+            {
+                let mut inner = this.inner.borrow_mut();
+                if !inner.channels[ch.0].link_up {
+                    inner.channels[ch.0].drop_link_down += 1;
+                    inner.tracer.emit(
+                        sim.now().as_nanos(),
+                        Some(f.header.conn),
+                        Some(f.src.rail as u32),
+                        EventKind::FrameDrop,
                     );
+                    return;
                 }
             }
-            Endpoint::Switch(_) => {
-                // Multi-switch paths re-enter the normal path; keep damaged.
-                this.arrive_corrupt(sim, to, f);
+            match to {
+                Endpoint::Nic(nic) => this.deliver_to_nic(sim, nic, f, true),
+                Endpoint::Switch(_) => {
+                    // Multi-switch paths re-enter the normal path; keep damaged.
+                    this.arrive_corrupt(sim, to, f);
+                }
             }
         });
     }
@@ -531,6 +705,7 @@ impl Network {
         for c in &inner.channels {
             s.drops_overflow += c.drop_overflow;
             s.drops_loss += c.drop_loss;
+            s.drops_link_down += c.drop_link_down;
             s.corrupted += c.corrupted;
             s.channel_frames += c.tx_frames;
             s.channel_bytes += c.tx_bytes;

@@ -5,9 +5,13 @@
 //! 10-GbE cluster has one. [`build_cluster`] constructs exactly that shape.
 
 use crate::engine::Sim;
+use crate::faults::{FaultPlan, FaultTarget};
 use crate::net::{ChannelParams, FaultModel, Network, NicId};
 use crate::time::{us_f64, Dur};
 use frame::MacAddr;
+
+/// Fault-RNG seed used when a spec does not choose one explicitly.
+pub const DEFAULT_FAULT_SEED: u64 = 0x5EED_F417;
 
 /// Shape and parameters of a rail-connected cluster.
 #[derive(Debug, Clone, Copy)]
@@ -22,6 +26,10 @@ pub struct ClusterSpec {
     pub switch_delay: Dur,
     /// Transient-fault model applied on every hop.
     pub fault: FaultModel,
+    /// Seed for the network's dedicated fault RNG: pins every
+    /// loss/corruption/burst draw, independently of timing jitter, so fault
+    /// scenarios are reproducible.
+    pub fault_seed: u64,
 }
 
 impl ClusterSpec {
@@ -33,6 +41,7 @@ impl ClusterSpec {
             link: ChannelParams::gbe_1(),
             switch_delay: us_f64(1.0),
             fault: FaultModel::default(),
+            fault_seed: DEFAULT_FAULT_SEED,
         }
     }
 
@@ -44,6 +53,7 @@ impl ClusterSpec {
             link: ChannelParams::gbe_10(),
             switch_delay: us_f64(1.0),
             fault: FaultModel::default(),
+            fault_seed: DEFAULT_FAULT_SEED,
         }
     }
 }
@@ -58,10 +68,36 @@ pub struct Cluster {
     pub spec: ClusterSpec,
 }
 
+impl Cluster {
+    /// The NICs a fault target resolves to in this cluster's rail shape.
+    pub fn resolve_target(&self, target: FaultTarget) -> Vec<NicId> {
+        match target {
+            FaultTarget::Link { node, rail } => vec![self.nics[node][rail]],
+            FaultTarget::Rail { rail } => self.nics.iter().map(|row| row[rail]).collect(),
+        }
+    }
+
+    /// Schedule every event of `plan` onto `sim`: at each event's virtual
+    /// time the action is applied to every NIC its target resolves to (a
+    /// [`FaultTarget::Rail`] hits all nodes' links on that rail at once).
+    pub fn apply_fault_plan(&self, sim: &Sim, plan: &FaultPlan) {
+        for ev in plan.events() {
+            let nics = self.resolve_target(ev.target);
+            let net = self.net.clone();
+            let action = ev.action;
+            sim.schedule_at(ev.at, move |_| {
+                for nic in nics {
+                    net.apply_fault(nic, action);
+                }
+            });
+        }
+    }
+}
+
 /// Build a rail topology per `spec`.
 pub fn build_cluster(sim: &Sim, spec: ClusterSpec) -> Cluster {
     assert!(spec.nodes >= 1 && spec.rails >= 1);
-    let net = Network::new(sim, spec.fault);
+    let net = Network::with_fault_seed(sim, spec.fault, spec.fault_seed);
     let switches: Vec<_> = (0..spec.rails)
         .map(|_| net.add_switch(spec.switch_delay))
         .collect();

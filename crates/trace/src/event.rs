@@ -85,6 +85,56 @@ pub enum EventKind {
     FrameDrop,
     /// The network delivered a frame with an injected corruption.
     FrameCorrupt,
+    /// A scripted fault-plan event was applied by the network.
+    FaultInjected {
+        /// Which kind of fault fired.
+        kind: FaultKind,
+    },
+    /// The sender's rail-health tracker declared a rail dead and excluded
+    /// it from striping.
+    RailDown {
+        /// The rail (local NIC index) taken out of rotation.
+        rail: u32,
+    },
+    /// A previously dead rail passed its re-admission probe and rejoined
+    /// the striping rotation.
+    RailUp {
+        /// The rail re-admitted.
+        rail: u32,
+    },
+    /// The adaptive retransmission timer fired without progress and backed
+    /// its timeout off exponentially.
+    RtoBackoff {
+        /// The new (backed-off) timeout in ns.
+        rto_ns: u64,
+        /// Consecutive backoffs since the last acknowledgement progress.
+        backoff: u32,
+    },
+}
+
+/// Which scripted fault a [`EventKind::FaultInjected`] event applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A link was forced administratively down.
+    LinkDown,
+    /// A downed link was restored.
+    LinkUp,
+    /// A NIC stopped delivering frames for a while (receive-path stall).
+    NicStall,
+    /// A channel's burst-loss (Gilbert–Elliott) parameters were installed.
+    BurstModel,
+}
+
+impl FaultKind {
+    /// Short stable label (`link_down`, `link_up`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::LinkDown => "link_down",
+            FaultKind::LinkUp => "link_up",
+            FaultKind::NicStall => "nic_stall",
+            FaultKind::BurstModel => "burst_model",
+        }
+    }
 }
 
 impl EventKind {
@@ -108,6 +158,10 @@ impl EventKind {
             EventKind::TxPoll => "tx_poll",
             EventKind::FrameDrop => "frame_drop",
             EventKind::FrameCorrupt => "frame_corrupt",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::RailDown { .. } => "rail_down",
+            EventKind::RailUp { .. } => "rail_up",
+            EventKind::RtoBackoff { .. } => "rto_backoff",
         }
     }
 }
@@ -163,6 +217,15 @@ impl Event {
             EventKind::RtoFire { seq } => s.push_str(&format!(" seq={seq}")),
             EventKind::RxInterrupt { batch } | EventKind::RxPoll { batch } => {
                 s.push_str(&format!(" batch={batch}"));
+            }
+            EventKind::FaultInjected { kind } => {
+                s.push_str(&format!(" fault={}", kind.label()));
+            }
+            EventKind::RailDown { rail } | EventKind::RailUp { rail } => {
+                s.push_str(&format!(" rail={rail}"));
+            }
+            EventKind::RtoBackoff { rto_ns, backoff } => {
+                s.push_str(&format!(" rto={rto_ns}ns backoff={backoff}"));
             }
             EventKind::TxInterrupt | EventKind::TxPoll | EventKind::FrameDrop | EventKind::FrameCorrupt => {}
         }

@@ -55,7 +55,7 @@ pub mod report;
 pub mod ring;
 mod tracer;
 
-pub use event::{Event, EventKind};
+pub use event::{Event, EventKind, FaultKind};
 pub use hist::LogHistogram;
 pub use json::Json;
 pub use ring::EventRing;
