@@ -4,7 +4,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: verify build test doc clippy bench-trace test-soak bench-failover
+.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke
 
 verify: build test doc clippy
 
@@ -36,3 +36,14 @@ test-soak:
 # latency p50/p99) and asserts convergence to the surviving rail.
 bench-failover:
 	$(CARGO) bench $(OFFLINE) -p multiedge-bench --bench ablation_failover
+
+# Datapath wall-clock throughput + allocation accounting: merges with the
+# recorded pre-refactor baseline, enforces the zero-allocations-per-frame
+# gate, and writes results/BENCH_datapath.json (docs/PERFORMANCE.md).
+bench-datapath:
+	$(CARGO) bench $(OFFLINE) -p multiedge-bench --bench datapath
+
+# CI smoke flavour: few iterations, no JSON, but the zero-allocation gate
+# still fails the run if the clean-network datapath allocates per frame.
+bench-datapath-smoke:
+	DATAPATH_QUICK=1 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench datapath

@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
-use frame::{decode_frame, encode_frame, Frame, FrameHeader, MacAddr};
+use frame::{decode_frame, encode_frame_into, Frame, FrameHeader, MacAddr};
 use std::hint::black_box;
 
 fn codec(c: &mut Criterion) {
@@ -12,9 +12,14 @@ fn codec(c: &mut Criterion) {
         header: FrameHeader::default(),
         payload: Bytes::from(vec![7u8; 1400]),
     };
-    let wire = encode_frame(&f);
+    let mut wire = Vec::new();
+    encode_frame_into(&f, &mut wire);
     c.bench_function("frame_encode_1400B", |b| {
-        b.iter(|| encode_frame(black_box(&f)))
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            encode_frame_into(black_box(&f), &mut scratch);
+            black_box(scratch.len())
+        })
     });
     c.bench_function("frame_decode_1400B", |b| {
         b.iter(|| decode_frame(f.src, f.dst, black_box(&wire)).unwrap())

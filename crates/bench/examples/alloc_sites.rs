@@ -1,0 +1,98 @@
+//! Diagnostic for the zero-allocation datapath: run the steady-state
+//! workload with an allocator that backtraces every allocation, and print
+//! the call sites ranked by hit count.
+//!
+//! ```text
+//! CARGO_PROFILE_RELEASE_DEBUG=true cargo run --offline --release -p multiedge-bench --example alloc_sites
+//! ```
+//!
+//! The probe arms only for the second of two identical runs, so warmup and
+//! capacity-growth allocations (which the datapath bench's double-difference
+//! cancels anyway) do not drown out the per-frame offenders.
+
+use multiedge::SystemConfig;
+use multiedge_bench::micro::{run_micro, MicroKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+
+static PROBE: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static IN_HOOK: Cell<bool> = const { Cell::new(false) };
+    static SITES: RefCell<Vec<(usize, String)>> = const { RefCell::new(Vec::new()) };
+}
+
+struct TraceAlloc;
+
+fn record(size: usize) {
+    if !PROBE.load(Relaxed) {
+        return;
+    }
+    IN_HOOK.with(|flag| {
+        if flag.get() {
+            return; // backtrace capture allocates; don't recurse
+        }
+        flag.set(true);
+        let bt = std::backtrace::Backtrace::force_capture().to_string();
+        // Keep only the frames from this workspace — the interesting part.
+        let ours: Vec<&str> = bt
+            .lines()
+            .filter(|l| l.contains("crates/"))
+            .map(str::trim)
+            .collect();
+        SITES.with(|s| s.borrow_mut().push((size, ours.join(" <- "))));
+        flag.set(false);
+    });
+}
+
+unsafe impl GlobalAlloc for TraceAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            record(new_size - layout.size());
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: TraceAlloc = TraceAlloc;
+
+fn main() {
+    let mut cfg = SystemConfig::one_link_1g(2);
+    cfg.seed = 7;
+    // Warm every lazy path and grow every scratch buffer.
+    let _ = run_micro(&cfg, MicroKind::TwoWay, 32 << 10, 40);
+    PROBE.store(true, Relaxed);
+    let r = run_micro(&cfg, MicroKind::TwoWay, 32 << 10, 40);
+    PROBE.store(false, Relaxed);
+
+    let mut by_site: Vec<(String, u64, usize)> = Vec::new();
+    SITES.with(|s| {
+        for (size, site) in s.borrow().iter() {
+            match by_site.iter_mut().find(|(k, _, _)| k == site) {
+                Some((_, n, bytes)) => {
+                    *n += 1;
+                    *bytes += size;
+                }
+                None => by_site.push((site.clone(), 1, *size)),
+            }
+        }
+    });
+    by_site.sort_by_key(|(_, n, _)| std::cmp::Reverse(*n));
+    println!(
+        "{} data frames, {} distinct alloc sites:\n",
+        r.proto.data_frames_sent,
+        by_site.len()
+    );
+    for (site, n, bytes) in by_site.iter().take(20) {
+        println!("{n:>7} allocs {bytes:>9} B  {site}\n");
+    }
+}

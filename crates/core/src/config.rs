@@ -231,6 +231,12 @@ impl SystemConfig {
         Self::base("1L-10G", nodes, 1, ChannelParams::gbe_10(), CostModel::gbe_10())
     }
 
+    /// The paper's **4L-1G**: four 1-GbE rails, out-of-order delivery
+    /// allowed wherever the application does not fence.
+    pub fn four_link_1g(nodes: usize) -> Self {
+        Self::base("4L-1G", nodes, 4, ChannelParams::gbe_1(), CostModel::default())
+    }
+
     /// Nominal unidirectional link payload ceiling in MB/s (all rails),
     /// i.e. the figure the paper calls "nominal link throughput".
     pub fn nominal_mb_s(&self) -> f64 {

@@ -21,23 +21,24 @@
 use crate::config::SystemConfig;
 use crate::memory::AppMemory;
 use crate::ops::{Notification, OpFlags, OpHandle, OpKind};
-use crate::order::{FragMeta, OpOrdering};
+use crate::order::{FragMeta, OpOrdering, Release};
 use crate::railhealth::{RailEvent, RailSet, RailState};
 use crate::recvseq::{Admit, SeqTracker};
+use crate::ring::{GapRing, TxRing, TxSlot};
 use crate::rtt::RttEstimator;
 use crate::sched::LinkScheduler;
 use crate::seqspace::{from_wire, to_wire};
 use crate::stats::{CpuSnapshot, ProtoStats};
 use bytes::Bytes;
-use frame::{Frame, FrameFlags, FrameHeader, FrameKind, MacAddr, NackRanges};
+use frame::{FastMap, Frame, FrameFlags, FrameHeader, FrameKind, MacAddr, NackRanges};
 use me_trace::{EventKind, Tracer};
 use netsim::cpu::CpuTimeline;
 use netsim::sync::{sleep_until, Channel};
 use netsim::time::Dur;
-use netsim::{Network, NicId, RxFrame, Sim, SimTime};
+use netsim::{Network, NicId, RxFrame, Sim, SimTime, TimerId};
 use rand::Rng;
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// Payload of a fragment travelling through the reorder machinery.
@@ -46,16 +47,6 @@ struct FragPayload {
     kind: FrameKind,
     addr: u64,
     data: Bytes,
-}
-
-/// Transmission bookkeeping for one outstanding frame: which rail carried
-/// its latest copy, when, and whether any copy was a retransmission (Karn's
-/// algorithm forbids RTT samples from those).
-#[derive(Debug, Clone, Copy)]
-struct SentInfo {
-    rail: usize,
-    sent_at: SimTime,
-    retransmitted: bool,
 }
 
 /// Metadata retained per receiving operation until it completes.
@@ -83,8 +74,16 @@ struct Conn {
     /// Next sequence to put on the wire (frames in `[acked, sent_up_to)`
     /// are in flight; `[sent_up_to, next_seq)` wait for the window).
     sent_up_to: u64,
-    /// Built frames, keyed by sequence; pruned as acks arrive.
-    outstanding: BTreeMap<u64, Frame>,
+    /// In-flight frames `[acked, sent_up_to)` with their transmission
+    /// bookkeeping (rail, send time, Karn retransmission mark), in a
+    /// window-sized ring: O(1) insert/lookup/removal, no per-frame
+    /// allocation.
+    tx: TxRing,
+    /// Built frames awaiting the window, `[sent_up_to, next_seq)` in
+    /// sequence order (the front is always `sent_up_to`). Unbounded — a
+    /// large issued operation fragments up front — so it stays a queue
+    /// rather than joining the window ring.
+    send_queue: VecDeque<Frame>,
     /// Next operation id to assign (dense, issue order).
     next_op: u64,
     /// Most recent forward-fenced op issued (source of fence floors).
@@ -92,15 +91,11 @@ struct Conn {
     /// Write ops awaiting acknowledgement: (last frame seq, op id, handle).
     pending_write_ops: VecDeque<(u64, u64, OpHandle)>,
     /// Read ops awaiting response data, keyed by our read op id.
-    pending_reads: HashMap<u64, OpHandle>,
+    pending_reads: FastMap<u64, OpHandle>,
     sched: LinkScheduler,
     /// Last time the cumulative ack advanced (for the coarse timeout).
     last_progress: SimTime,
     rto_armed: bool,
-    /// Which rail carried each outstanding frame's latest copy — the
-    /// attribution table that lets NACK retransmits and RTO hits debit the
-    /// right rail and first-transmission acks feed the RTT estimator.
-    sent_info: HashMap<u64, SentInfo>,
     /// Per-rail health state machine driving the striping eligibility mask.
     rails: RailSet,
     /// Rail that most recently delivered any frame from the peer; control
@@ -113,15 +108,19 @@ struct Conn {
     // ---- receive direction ----
     seqs: SeqTracker,
     order: OpOrdering<FragPayload>,
-    op_meta: HashMap<u64, OpMetaInfo>,
+    op_meta: FastMap<u64, OpMetaInfo>,
     /// Data frames received since the last acknowledgement we sent.
     frames_since_ack: u32,
     ack_timer_armed: bool,
     nack_timer_armed: bool,
-    /// Per-gap-start time of the last NACK covering it.
-    last_nack: HashMap<u64, SimTime>,
-    /// Per-gap-start time the gap was first observed by the NACK check.
-    gap_first_seen: HashMap<u64, SimTime>,
+    /// Per-gap-start NACK-dedup state (first seen / last NACKed), in a
+    /// window-sized ring purged below the cumulative ack on every NACK
+    /// check — its live size is window-bounded by construction.
+    gaps: GapRing,
+    /// Scratch for [`SeqTracker::missing_ranges_into`] on the NACK timer.
+    missing_scratch: Vec<(u64, u64)>,
+    /// Scratch [`Release`] reused by every `offer_into` on this connection.
+    release_scratch: Release<FragPayload>,
 
     // ---- observability ----
     /// Connection-local slice of the protocol counters: every counter that
@@ -131,7 +130,7 @@ struct Conn {
     stats: ProtoStats,
     /// Receive ops currently held back by a fence, keyed by op id →
     /// stall start time. Populated only while tracing is enabled.
-    fence_stall_start: HashMap<u64, SimTime>,
+    fence_stall_start: FastMap<u64, SimTime>,
 }
 
 impl Conn {
@@ -142,15 +141,15 @@ impl Conn {
             next_seq: 0,
             acked: 0,
             sent_up_to: 0,
-            outstanding: BTreeMap::new(),
+            tx: TxRing::with_window(proto.window as usize),
+            send_queue: VecDeque::new(),
             next_op: 0,
             last_fwd_op: None,
             pending_write_ops: VecDeque::new(),
-            pending_reads: HashMap::new(),
+            pending_reads: FastMap::default(),
             sched: LinkScheduler::new(proto.sched),
             last_progress: SimTime::ZERO,
             rto_armed: false,
-            sent_info: HashMap::new(),
             rails: RailSet::new(
                 nrails,
                 proto.rail_degraded_after,
@@ -159,16 +158,17 @@ impl Conn {
             ),
             last_rx_rail: None,
             rtt: RttEstimator::new(proto.rto_initial, proto.rto_min, proto.rto_max),
-            seqs: SeqTracker::new(),
+            seqs: SeqTracker::with_window(proto.window as usize),
             order: OpOrdering::new(),
-            op_meta: HashMap::new(),
+            op_meta: FastMap::default(),
             frames_since_ack: 0,
             ack_timer_armed: false,
             nack_timer_armed: false,
-            last_nack: HashMap::new(),
-            gap_first_seen: HashMap::new(),
+            gaps: GapRing::with_window(proto.window as usize),
+            missing_scratch: Vec::new(),
+            release_scratch: Release::default(),
             stats: ProtoStats::default(),
-            fence_stall_start: HashMap::new(),
+            fence_stall_start: FastMap::default(),
         }
     }
 
@@ -198,8 +198,14 @@ struct EndpointInner {
     irq_pending: VecDeque<ModItem>,
     /// A moderation timer is armed.
     irq_armed: bool,
-    /// Invalidates stale moderation timers.
-    irq_gen: u64,
+    /// The armed moderation timer, cancelled in O(1) when the frame cap
+    /// fires the batch early ([`TimerId::NONE`] when none is armed).
+    irq_timer: TimerId,
+    /// Scratch buffers reused across hot-path calls (drained, never shrunk)
+    /// so the steady-state datapath performs no heap allocation.
+    send_scratch: Vec<(NicId, Frame)>,
+    irq_batch: Vec<ModItem>,
+    applies_scratch: Vec<(SimTime, Frame)>,
 }
 
 /// A node's MultiEdge protocol instance. Cheap to clone (shared state).
@@ -241,7 +247,10 @@ impl Endpoint {
                 tracer,
                 irq_pending: VecDeque::new(),
                 irq_armed: false,
-                irq_gen: 0,
+                irq_timer: TimerId::NONE,
+                send_scratch: Vec::new(),
+                irq_batch: Vec::new(),
+                applies_scratch: Vec::new(),
             })),
             notifications: Channel::new(sim),
         };
@@ -445,6 +454,16 @@ impl Endpoint {
         self.notifications.try_pop()
     }
 
+    /// Test hook: per-connection hot-path state sizes that the window must
+    /// bound — (in-flight tx frames, live NACK-dedup gap entries, frames
+    /// held out of order by the receiver).
+    #[cfg(test)]
+    fn window_state_sizes(&self, conn: usize) -> (usize, usize, usize) {
+        let inner = self.inner.borrow();
+        let c = &inner.conns[conn];
+        (c.tx.len(), c.gaps.len(), c.seqs.ooo_held())
+    }
+
     /// Snapshot of protocol statistics (reorder peak folded in).
     pub fn stats(&self) -> ProtoStats {
         let inner = self.inner.borrow();
@@ -567,16 +586,13 @@ impl Endpoint {
                     remote_addr: remote_addr + off as u64,
                     aux: 0,
                 };
-                c.outstanding.insert(
-                    seq,
-                    Frame {
-                        // src/dst rewritten at transmit time (rail choice)
-                        src: MacAddr::new(node as u16, 0),
-                        dst: MacAddr::new(c.peer_node as u16, 0),
-                        header,
-                        payload: frag,
-                    },
-                );
+                c.send_queue.push_back(Frame {
+                    // src/dst rewritten at transmit time (rail choice)
+                    src: MacAddr::new(node as u16, 0),
+                    dst: MacAddr::new(c.peer_node as u16, 0),
+                    header,
+                    payload: frag,
+                });
             }
             c.pending_write_ops.push_back((last_seq, op_id, handle));
             inner.tracer.emit(
@@ -641,15 +657,12 @@ impl Endpoint {
             };
             // Payload carries the requested length.
             let payload = Bytes::copy_from_slice(&(len as u64).to_le_bytes());
-            c.outstanding.insert(
-                seq,
-                Frame {
-                    src: MacAddr::new(node as u16, 0),
-                    dst: MacAddr::new(c.peer_node as u16, 0),
-                    header,
-                    payload,
-                },
-            );
+            c.send_queue.push_back(Frame {
+                src: MacAddr::new(node as u16, 0),
+                dst: MacAddr::new(c.peer_node as u16, 0),
+                header,
+                payload,
+            });
             c.pending_reads.insert(op_id, handle);
             inner.tracer.emit(
                 self.sim.now().as_nanos(),
@@ -663,10 +676,15 @@ impl Endpoint {
         self.ensure_rto(conn);
     }
 
-    /// Put frames on their NICs.
-    fn dispatch(&self, sends: Vec<(NicId, Frame)>) {
-        for (nic, f) in sends {
+    /// Put frames on their NICs, then hand the drained vector back to the
+    /// send scratch so steady-state sends reuse its capacity.
+    fn dispatch(&self, mut sends: Vec<(NicId, Frame)>) {
+        for (nic, f) in sends.drain(..) {
             self.net.nic_send(nic, f);
+        }
+        let mut inner = self.inner.borrow_mut();
+        if sends.capacity() > inner.send_scratch.capacity() {
+            inner.send_scratch = sends;
         }
     }
 
@@ -738,20 +756,21 @@ impl Endpoint {
     fn moderate(&self, mut inner: std::cell::RefMut<'_, EndpointInner>) {
         if inner.irq_pending.len() >= inner.cfg.cost.rx_irq_frames {
             inner.irq_armed = false;
-            inner.irq_gen += 1; // invalidate any armed timer
+            // Cancel any armed timer in O(1); its slot fires as a no-op.
+            let timer = std::mem::replace(&mut inner.irq_timer, TimerId::NONE);
             drop(inner);
+            self.sim.cancel_timer(timer);
             self.fire_irq();
         } else if !inner.irq_armed {
             inner.irq_armed = true;
-            inner.irq_gen += 1;
-            let gen = inner.irq_gen;
             let delay = inner.cfg.cost.rx_irq_delay;
             drop(inner);
             let ep = self.clone();
-            self.sim.schedule_in(delay, move |_| {
+            let id = self.sim.schedule_timer_in(delay, move |_| {
                 let fire = {
                     let mut inner = ep.inner.borrow_mut();
-                    if inner.irq_armed && inner.irq_gen == gen {
+                    inner.irq_timer = TimerId::NONE;
+                    if inner.irq_armed {
                         inner.irq_armed = false;
                         true
                     } else {
@@ -762,6 +781,7 @@ impl Endpoint {
                     ep.fire_irq();
                 }
             });
+            self.inner.borrow_mut().irq_timer = id;
         }
     }
 
@@ -772,7 +792,11 @@ impl Endpoint {
             if inner.irq_pending.is_empty() {
                 return;
             }
-            let batch: Vec<ModItem> = inner.irq_pending.drain(..).collect();
+            let mut batch = std::mem::take(&mut inner.irq_batch);
+            batch.clear();
+            while let Some(item) = inner.irq_pending.pop_front() {
+                batch.push(item);
+            }
             let n_rx = batch
                 .iter()
                 .filter(|i| matches!(i, ModItem::Rx(_)))
@@ -802,8 +826,9 @@ impl Endpoint {
             }
             let cm = inner.cfg.cost.clone();
             inner.cpu_proto.reserve(now, cm.interrupt + cm.kthread_wake);
-            let mut applies = Vec::new();
-            for item in batch {
+            let mut applies = std::mem::take(&mut inner.applies_scratch);
+            applies.clear();
+            for item in batch.drain(..) {
                 match item {
                     ModItem::Rx(rx) => {
                         let cost = Self::rx_cost(&cm, &rx);
@@ -819,12 +844,15 @@ impl Endpoint {
                     }
                 }
             }
+            inner.irq_batch = batch;
             applies
         };
-        for (at, f) in applies {
+        let mut applies = applies;
+        for (at, f) in applies.drain(..) {
             let ep = self.clone();
             self.sim.schedule_at(at, move |_| ep.apply_rx(f));
         }
+        self.inner.borrow_mut().applies_scratch = applies;
     }
 
     /// Apply a received frame to protocol state (runs at the end of its
@@ -881,33 +909,32 @@ impl Endpoint {
             let old_acked = c.acked;
             c.acked = ack;
             c.last_progress = now;
+            let old_sent = c.sent_up_to;
             c.sent_up_to = c.sent_up_to.max(ack);
+            // Acks can only cover transmitted frames, but stay defensive:
+            // drop any queued-but-unsent frames the ack just covered.
+            for _ in old_sent..c.sent_up_to {
+                c.send_queue.pop_front();
+            }
             // Credit the rails that carried the newly-covered frames, and
             // take an RTT sample from the freshest first-transmission frame
             // (Karn's algorithm: retransmitted frames have ambiguous acks).
             let mut rail_events: Vec<RailEvent> = Vec::new();
             let mut rtt_sample = None;
             for seq in old_acked..ack {
-                let Some(si) = c.sent_info.remove(&seq) else {
+                let Some(slot) = c.tx.remove(seq) else {
                     continue;
                 };
-                if !si.retransmitted {
-                    rtt_sample = Some(now.since(si.sent_at));
+                if !slot.retransmitted {
+                    rtt_sample = Some(now.since(slot.sent_at));
                 }
-                if let Some(ev) = c.rails.on_ack(si.rail, seq) {
+                if let Some(ev) = c.rails.on_ack(slot.rail, seq) {
                     rail_events.push(ev);
                 }
             }
             match rtt_sample {
                 Some(s) => c.rtt.on_sample(s),
                 None => c.rtt.on_progress(),
-            }
-            while c
-                .outstanding
-                .first_key_value()
-                .is_some_and(|(&s, _)| s < ack)
-            {
-                c.outstanding.pop_first();
             }
             let mut completed = Vec::new();
             while c
@@ -987,7 +1014,7 @@ impl Endpoint {
                         continue;
                     }
                     for seq in from..to.min(from + window) {
-                        if seq < c.sent_up_to && c.outstanding.contains_key(&seq) {
+                        if c.tx.contains(seq) {
                             to_resend.push(seq);
                         }
                         if to_resend.len() as u64 >= window {
@@ -1003,8 +1030,9 @@ impl Endpoint {
             {
                 let c = &mut inner.conns[conn];
                 for &seq in &to_resend {
-                    if let Some(si) = c.sent_info.get(&seq).copied() {
-                        if let Some(ev) = c.rails.on_loss(si.rail, seq, now) {
+                    let rail = c.tx.get(seq).map(|s| s.rail);
+                    if let Some(rail) = rail {
+                        if let Some(ev) = c.rails.on_loss(rail, seq, now) {
                             rail_events.push(ev);
                         }
                     }
@@ -1098,7 +1126,7 @@ impl Endpoint {
             }
             if !duplicate {
                 // Reconstruct op-level fields and run the fence machinery.
-                let (applies, completions, stalled_op) = {
+                let (mut release, stalled_op) = {
                     let c = &mut inner.conns[conn];
                     let op_id = from_wire(c.order.applied_below(), f.header.op_id);
                     let fence_floor = from_wire(c.order.applied_below(), f.header.fence_floor);
@@ -1134,7 +1162,8 @@ impl Endpoint {
                         data: f.payload.clone(),
                     };
                     let buffered_before = c.order.buffered();
-                    let release = c.order.offer(meta, payload);
+                    let mut release = std::mem::take(&mut c.release_scratch);
+                    c.order.offer_into(meta, payload, &mut release);
                     // The fragment was held back iff the buffer count grew.
                     let stalled_op = if c.order.buffered() > buffered_before {
                         if traced {
@@ -1144,7 +1173,7 @@ impl Endpoint {
                     } else {
                         None
                     };
-                    (release.apply, release.completed, stalled_op)
+                    (release, stalled_op)
                 };
                 if traced {
                     if let Some(op) = stalled_op {
@@ -1157,7 +1186,8 @@ impl Endpoint {
                     }
                     let released: Vec<(u64, u64)> = {
                         let c = &mut inner.conns[conn];
-                        applies
+                        release
+                            .apply
                             .iter()
                             .filter_map(|(m, _)| {
                                 c.fence_stall_start
@@ -1177,7 +1207,7 @@ impl Endpoint {
                     }
                 }
                 // Apply released fragments to memory.
-                for (_, frag) in &applies {
+                for (_, frag) in &release.apply {
                     match frag.kind {
                         FrameKind::Data | FrameKind::ReadResponse => {
                             inner.memory.write(frag.addr, &frag.data);
@@ -1189,7 +1219,7 @@ impl Endpoint {
                     }
                 }
                 // Handle op completions.
-                for op in completions {
+                for &op in &release.completed {
                     let Some(mi) = inner.conns[conn].op_meta.remove(&op) else {
                         continue;
                     };
@@ -1229,6 +1259,10 @@ impl Endpoint {
                     c.nack_timer_armed = true;
                     arm_nack = true;
                 }
+                // Return the drained release buffers for the next frame.
+                release.apply.clear();
+                release.completed.clear();
+                inner.conns[conn].release_scratch = release;
             }
         }
         if duplicate {
@@ -1332,15 +1366,12 @@ impl Endpoint {
                     remote_addr: resp_buf + off as u64,
                     aux: initiator_op,
                 };
-                c.outstanding.insert(
-                    seq,
-                    Frame {
-                        src: MacAddr::new(node as u16, 0),
-                        dst: MacAddr::new(c.peer_node as u16, 0),
-                        header,
-                        payload: frag,
-                    },
-                );
+                c.send_queue.push_back(Frame {
+                    src: MacAddr::new(node as u16, 0),
+                    dst: MacAddr::new(c.peer_node as u16, 0),
+                    header,
+                    payload: frag,
+                });
             }
             inner.pump_send(conn, &self.net, &self.sim, true)
         };
@@ -1359,9 +1390,15 @@ impl Endpoint {
             let per = inner.cfg.cost.frame_build + inner.cfg.cost.dma_post;
             inner.cpu_proto.account(per);
             inner.stats.explicit_acks_sent += 1;
-            let node = inner.node;
-            let nics = inner.nics.clone();
-            let c = &mut inner.conns[conn];
+            let EndpointInner {
+                node,
+                nics,
+                conns,
+                tracer,
+                ..
+            } = &mut *inner;
+            let node = *node;
+            let c = &mut conns[conn];
             c.stats.explicit_acks_sent += 1;
             c.frames_since_ack = 0;
             let cum = c.seqs.cumulative();
@@ -1385,7 +1422,7 @@ impl Endpoint {
                 Some(r) if r < nics.len() => r,
                 _ => {
                     let mask = c.rails.eligible_mask(self.sim.now());
-                    c.sched.pick(&nics, &self.net, mask, |n| {
+                    c.sched.pick(nics, &self.net, mask, |n| {
                         self.sim.with_rng(|r| r.gen_range(0..n))
                     })
                 }
@@ -1396,7 +1433,7 @@ impl Endpoint {
                 header,
                 payload: Bytes::new(),
             };
-            inner.tracer.emit(
+            tracer.emit(
                 self.sim.now().as_nanos(),
                 Some(conn as u32),
                 Some(rail as u32),
@@ -1427,27 +1464,33 @@ impl Endpoint {
             let now = self.sim.now();
             let c = &mut inner.conns[conn];
             c.nack_timer_armed = false;
-            let missing = c.seqs.missing_ranges();
-            let cumulative = c.seqs.cumulative();
-            c.last_nack.retain(|&s, _| s >= cumulative);
-            c.gap_first_seen.retain(|&s, _| s >= cumulative);
+            let Conn {
+                seqs,
+                gaps,
+                missing_scratch,
+                ..
+            } = c;
+            seqs.missing_ranges_into(missing_scratch);
+            let cumulative = seqs.cumulative();
+            // Retire gap state the cumulative ack has passed; what remains
+            // is bounded by the window.
+            gaps.purge_below(cumulative);
             let mut due = Vec::new();
-            for &(from, to) in &missing {
+            for &(from, to) in missing_scratch.iter() {
                 // Only report gaps that have persisted for at least
                 // `nack_delay` — multi-link skew closes younger gaps on its
                 // own, and NACKing them would trigger the unnecessary
                 // retransmissions the paper's delayed-NACK design avoids.
-                let first = *c.gap_first_seen.entry(from).or_insert(now);
-                if now.since(first) < min_age {
+                let g = gaps.entry(from, now);
+                if now.since(g.first_seen) < min_age {
                     continue;
                 }
-                let last = c.last_nack.get(&from).copied();
-                if last.is_none_or(|t| now.since(t) >= repeat) {
-                    c.last_nack.insert(from, now);
+                if g.last_nack.is_none_or(|t| now.since(t) >= repeat) {
+                    g.last_nack = Some(now);
                     due.push((to_wire(from), to_wire(to)));
                 }
             }
-            let rearm = !missing.is_empty();
+            let rearm = !missing_scratch.is_empty();
             if rearm {
                 c.nack_timer_armed = true;
             }
@@ -1469,9 +1512,15 @@ impl Endpoint {
             let per = inner.cfg.cost.frame_build + inner.cfg.cost.dma_post;
             inner.cpu_proto.account(per);
             inner.stats.nacks_sent += 1;
-            let node = inner.node;
-            let nics = inner.nics.clone();
-            let c = &mut inner.conns[conn];
+            let EndpointInner {
+                node,
+                nics,
+                conns,
+                tracer,
+                ..
+            } = &mut *inner;
+            let node = *node;
+            let c = &mut conns[conn];
             c.stats.nacks_sent += 1;
             let gaps = ranges.len() as u32;
             let payload = NackRanges { ranges }.encode();
@@ -1495,7 +1544,7 @@ impl Endpoint {
                 Some(r) if r < nics.len() => r,
                 _ => {
                     let mask = c.rails.eligible_mask(self.sim.now());
-                    c.sched.pick(&nics, &self.net, mask, |n| {
+                    c.sched.pick(nics, &self.net, mask, |n| {
                         self.sim.with_rng(|r| r.gen_range(0..n))
                     })
                 }
@@ -1506,7 +1555,7 @@ impl Endpoint {
                 header,
                 payload,
             };
-            inner.tracer.emit(
+            tracer.emit(
                 self.sim.now().as_nanos(),
                 Some(conn as u32),
                 Some(rail as u32),
@@ -1557,11 +1606,8 @@ impl Endpoint {
                 let backoff = c.rtt.on_timeout();
                 let rto_ns = c.rtt.current_rto().as_nanos();
                 c.stats.rto_backoff_max = c.stats.rto_backoff_max.max(backoff as u64);
-                let rail_ev = c
-                    .sent_info
-                    .get(&seq)
-                    .copied()
-                    .and_then(|si| c.rails.on_loss(si.rail, seq, now));
+                let rail = c.tx.get(seq).map(|s| s.rail);
+                let rail_ev = rail.and_then(|r| c.rails.on_loss(r, seq, now));
                 if rail_ev.is_some() {
                     c.stats.rail_down_events += 1;
                 }
@@ -1623,13 +1669,25 @@ impl EndpointInner {
         proto_ctx: bool,
     ) -> Vec<(NicId, Frame)> {
         let window = self.cfg.proto.window;
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.send_scratch);
+        out.clear();
         loop {
-            let c = &self.conns[conn];
+            let c = &mut self.conns[conn];
             if c.sent_up_to >= c.next_seq || c.in_flight() >= window {
                 break;
             }
             let seq = c.sent_up_to;
+            let frame = c
+                .send_queue
+                .pop_front()
+                .expect("send_queue covers [sent_up_to, next_seq)");
+            c.tx.insert(TxSlot {
+                seq,
+                rail: 0,
+                sent_at: SimTime::ZERO,
+                retransmitted: false,
+                frame,
+            });
             if let Some(send) = self.prepare_transmit(conn, seq, false, net, sim) {
                 out.push(send);
             }
@@ -1668,11 +1726,16 @@ impl EndpointInner {
         net: &Network,
         sim: &Sim,
     ) -> Option<(NicId, Frame)> {
-        let nics = self.nics.clone();
-        let node = self.node;
-        let c = &mut self.conns[conn];
-        let stored = c.outstanding.get(&seq)?;
-        let mut f = stored.clone();
+        let EndpointInner {
+            node,
+            nics,
+            conns,
+            tracer,
+            ..
+        } = self;
+        let node = *node;
+        let c = &mut conns[conn];
+        let mut f = c.tx.get(seq)?.frame.clone();
         f.header.ack = to_wire(c.seqs.cumulative());
         if retransmit {
             f.header.flags |= FrameFlags::RETRANSMIT;
@@ -1680,21 +1743,15 @@ impl EndpointInner {
         let mask = c.rails.eligible_mask(sim.now());
         let rail = c
             .sched
-            .pick(&nics, net, mask, |n| sim.with_rng(|r| r.gen_range(0..n)));
+            .pick(nics, net, mask, |n| sim.with_rng(|r| r.gen_range(0..n)));
         c.rails.note_sent(rail, seq);
-        let ever_retransmitted =
-            retransmit || c.sent_info.get(&seq).is_some_and(|si| si.retransmitted);
-        c.sent_info.insert(
-            seq,
-            SentInfo {
-                rail,
-                sent_at: sim.now(),
-                retransmitted: ever_retransmitted,
-            },
-        );
+        let slot = c.tx.get_mut(seq).expect("slot just read");
+        slot.rail = rail;
+        slot.sent_at = sim.now();
+        slot.retransmitted = slot.retransmitted || retransmit;
         f.src = MacAddr::new(node as u16, rail as u8);
         f.dst = MacAddr::new(c.peer_node as u16, rail as u8);
-        self.tracer.emit(
+        tracer.emit(
             sim.now().as_nanos(),
             Some(conn as u32),
             Some(rail as u32),
@@ -1848,6 +1905,49 @@ mod tests {
         assert!(s0.retransmits() > 0, "2% loss must cause retransmissions");
         let s1 = eps[1].stats();
         assert!(s1.nacks_sent > 0, "gaps must be NACKed");
+    }
+
+    #[test]
+    fn nack_dedup_state_stays_window_bounded_after_lossy_soak() {
+        // Regression for the unbounded-map version of the NACK-dedup state:
+        // `last_nack` / `gap_first_seen` entries are only inserted on gaps,
+        // and the ACK-advance path must purge everything below the
+        // cumulative ack. After a long lossy soak (thousands of frames, many
+        // distinct gaps over time) the live state must be bounded by the
+        // window — and, once quiescent, empty — rather than scaling with
+        // total loss history.
+        let mut cfg = SystemConfig::four_link_1g(2);
+        cfg.fault = FaultModel {
+            loss_rate: 0.03,
+            corrupt_rate: 0.005,
+        };
+        let window = cfg.proto.window as usize;
+        let (sim, _cluster, eps, (c0, c1)) = rig(cfg);
+        let n = 200_000usize;
+        let payload: Vec<u8> = (0..n).map(|i| (i % 241) as u8).collect();
+        // Several sequential ops so gap state churns across many windows.
+        for round in 0..4u64 {
+            let a = eps[0].clone();
+            let p2 = payload.clone();
+            sim.spawn("soak-writer", async move {
+                let h = a
+                    .write_bytes(c0, round * n as u64, p2, OpFlags::RELAXED)
+                    .await;
+                h.wait().await;
+            });
+            sim.run().expect_quiescent();
+        }
+        let s0 = eps[0].stats();
+        assert!(s0.retransmits() > 0, "soak must actually lose frames");
+        for (ep, conn) in [(&eps[0], c0), (&eps[1], c1)] {
+            let (tx, gaps, ooo) = ep.window_state_sizes(conn);
+            assert!(tx <= window, "{tx} in-flight frames exceed window");
+            assert!(gaps <= window, "{gaps} live gap entries exceed window");
+            assert!(ooo <= window, "{ooo} out-of-order frames exceed window");
+            assert_eq!(tx, 0, "quiescent sender must have drained its ring");
+            assert_eq!(gaps, 0, "quiescent receiver must have purged gaps");
+        }
+        assert_eq!(eps[1].mem_read(0, n), payload, "soak must still deliver");
     }
 
     #[test]

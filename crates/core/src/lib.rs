@@ -58,6 +58,7 @@ pub mod ops;
 pub mod order;
 pub mod railhealth;
 pub mod recvseq;
+pub mod ring;
 pub mod rtt;
 pub mod sched;
 pub mod seqspace;

@@ -53,12 +53,23 @@ struct OpEntry<T> {
 
 /// Result of offering a fragment or of a cascade: fragments now applicable,
 /// and operations that completed as a result.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Release<T> {
     /// Fragments to apply now, in a valid order.
     pub apply: Vec<(FragMeta, T)>,
     /// Ids of operations that became fully applied, in completion order.
     pub completed: Vec<u64>,
+}
+
+// Manual impl: the derive would demand `T: Default`, which fragment payloads
+// have no reason to provide.
+impl<T> Default for Release<T> {
+    fn default() -> Self {
+        Self {
+            apply: Vec::new(),
+            completed: Vec::new(),
+        }
+    }
 }
 
 /// Fence-aware reorder buffer for one connection direction.
@@ -134,16 +145,26 @@ impl<T> OpOrdering<T> {
             apply: Vec::new(),
             completed: Vec::new(),
         };
+        self.offer_into(meta, frag, &mut out);
+        out
+    }
+
+    /// Like [`Self::offer`], but writes the released fragments and completed
+    /// ops into a caller-owned [`Release`] (cleared first), reusing its
+    /// vectors' capacity. The hot receive path holds one scratch `Release`
+    /// per connection and calls this to avoid a per-fragment allocation.
+    pub fn offer_into(&mut self, meta: FragMeta, frag: T, out: &mut Release<T>) {
+        out.apply.clear();
+        out.completed.clear();
         if self.can_apply(meta.op_id, meta.fence_floor, meta.fence_backward) {
-            self.apply_fragment(meta, frag, &mut out);
-            self.cascade(&mut out);
+            self.apply_fragment(meta, frag, out);
+            self.cascade(out);
         } else {
             let e = self.entry(&meta);
             e.buffered.push((meta, frag));
             self.buffered += 1;
             self.buffered_peak = self.buffered_peak.max(self.buffered);
         }
-        out
     }
 
     /// Apply one fragment: count its bytes, emit it, and handle completion.

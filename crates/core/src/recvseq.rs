@@ -3,8 +3,13 @@
 //!
 //! This module is pure state-machine logic (no timing), so it is tested
 //! exhaustively here and driven by property tests in `tests/`.
-
-use std::collections::BTreeSet;
+//!
+//! The tracker exploits the window invariant: the live span
+//! `[cumulative, frontier)` never exceeds the sender's window, so
+//! out-of-order arrivals are a *bitmap ring* indexed by `seq mod capacity`
+//! instead of an ordered set — admit is O(1) with zero steady-state
+//! allocation. The ring grows by doubling if a caller (tests, reference
+//! models) pushes a wider span than it was sized for.
 
 /// What [`SeqTracker::admit`] decided about an arriving frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,37 +26,104 @@ pub enum Admit {
 }
 
 /// Tracks which sequence numbers of one connection direction have arrived.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SeqTracker {
     /// All sequences `< cumulative` have been received.
     cumulative: u64,
-    /// Received sequences `>= cumulative` (out-of-order arrivals).
-    ooo: BTreeSet<u64>,
     /// One past the highest sequence ever received.
     frontier: u64,
+    /// Frames currently held out of order (set bits in the ring).
+    ooo_held: usize,
+    /// Bitmap ring over `[cumulative, frontier)`: bit `seq mod capacity` is
+    /// set iff `seq` arrived out of order and is still awaited by the
+    /// cumulative drain. Capacity (`bits.len() * 64`) is a power of two.
+    bits: Vec<u64>,
+}
+
+/// Smallest ring capacity in sequence numbers (two 64-bit words).
+const MIN_CAP: usize = 128;
+
+impl Default for SeqTracker {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SeqTracker {
     /// Fresh tracker expecting sequence 0 first.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_window(MIN_CAP)
+    }
+
+    /// Fresh tracker pre-sized so a live span of `window` sequences never
+    /// reallocates.
+    pub fn with_window(window: usize) -> Self {
+        let cap = window.max(MIN_CAP).next_power_of_two();
+        Self {
+            cumulative: 0,
+            frontier: 0,
+            ooo_held: 0,
+            bits: vec![0u64; cap / 64],
+        }
+    }
+
+    fn cap(&self) -> u64 {
+        (self.bits.len() * 64) as u64
+    }
+
+    fn bit(&self, seq: u64) -> bool {
+        let i = seq & (self.cap() - 1);
+        self.bits[(i >> 6) as usize] & (1u64 << (i & 63)) != 0
+    }
+
+    fn set_bit(&mut self, seq: u64) {
+        let i = seq & (self.cap() - 1);
+        self.bits[(i >> 6) as usize] |= 1u64 << (i & 63);
+    }
+
+    fn clear_bit(&mut self, seq: u64) {
+        let i = seq & (self.cap() - 1);
+        self.bits[(i >> 6) as usize] &= !(1u64 << (i & 63));
+    }
+
+    /// Double the ring until `span` fits, re-hashing the live bits.
+    fn grow(&mut self, span: u64) {
+        let mut cap = self.cap();
+        while cap < span {
+            cap *= 2;
+        }
+        let old = std::mem::replace(&mut self.bits, vec![0u64; (cap / 64) as usize]);
+        let old_cap = (old.len() * 64) as u64;
+        for seq in self.cumulative..self.frontier {
+            let i = seq & (old_cap - 1);
+            if old[(i >> 6) as usize] & (1u64 << (i & 63)) != 0 {
+                self.set_bit(seq);
+            }
+        }
     }
 
     /// Record the arrival of `seq`.
     pub fn admit(&mut self, seq: u64) -> Admit {
-        if seq < self.cumulative || self.ooo.contains(&seq) {
+        if seq < self.cumulative || (seq < self.frontier && self.bit(seq)) {
             return Admit::Duplicate;
+        }
+        let span = (seq + 1).max(self.frontier) - self.cumulative;
+        if span > self.cap() {
+            self.grow(span);
         }
         let in_order = seq == self.cumulative;
         self.frontier = self.frontier.max(seq + 1);
         if in_order {
             self.cumulative += 1;
             // Drain any contiguous run that was waiting.
-            while self.ooo.remove(&self.cumulative) {
+            while self.cumulative < self.frontier && self.bit(self.cumulative) {
+                self.clear_bit(self.cumulative);
+                self.ooo_held -= 1;
                 self.cumulative += 1;
             }
         } else {
-            self.ooo.insert(seq);
+            self.set_bit(seq);
+            self.ooo_held += 1;
         }
         Admit::New { in_order }
     }
@@ -73,25 +145,34 @@ impl SeqTracker {
 
     /// Number of frames currently held out of order.
     pub fn ooo_held(&self) -> usize {
-        self.ooo.len()
+        self.ooo_held
     }
 
     /// The missing half-open ranges in `[cumulative, frontier)` — exactly
-    /// what a NACK should report.
-    pub fn missing_ranges(&self) -> Vec<(u64, u64)> {
-        let mut ranges = Vec::new();
-        let mut cursor = self.cumulative;
-        for &have in self.ooo.iter() {
-            debug_assert!(have >= cursor);
-            if have > cursor {
-                ranges.push((cursor, have));
+    /// what a NACK should report — written into a caller-owned scratch
+    /// vector (cleared first) so the hot path reuses its capacity.
+    pub fn missing_ranges_into(&self, out: &mut Vec<(u64, u64)>) {
+        out.clear();
+        let mut run_start = None;
+        for seq in self.cumulative..self.frontier {
+            if self.bit(seq) {
+                if let Some(start) = run_start.take() {
+                    out.push((start, seq));
+                }
+            } else if run_start.is_none() {
+                run_start = Some(seq);
             }
-            cursor = have + 1;
         }
-        if cursor < self.frontier {
-            ranges.push((cursor, self.frontier));
+        if let Some(start) = run_start {
+            out.push((start, self.frontier));
         }
-        ranges
+    }
+
+    /// Allocating convenience wrapper around [`Self::missing_ranges_into`].
+    pub fn missing_ranges(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        self.missing_ranges_into(&mut out);
+        out
     }
 }
 
@@ -166,5 +247,34 @@ mod tests {
         }
         assert_eq!(t.cumulative(), 10);
         assert!(!t.has_gap());
+    }
+
+    #[test]
+    fn span_wider_than_initial_capacity_grows() {
+        let mut t = SeqTracker::new();
+        t.admit(0);
+        // Far beyond the 128-seq initial ring: forces a rebuild that must
+        // preserve the held-out-of-order bits.
+        t.admit(1000);
+        t.admit(500);
+        assert_eq!(t.admit(1000), Admit::Duplicate);
+        assert_eq!(t.admit(500), Admit::Duplicate);
+        assert_eq!(t.cumulative(), 1);
+        assert_eq!(t.frontier(), 1001);
+        assert_eq!(t.ooo_held(), 2);
+        assert_eq!(t.missing_ranges(), vec![(1, 500), (501, 1000)]);
+    }
+
+    #[test]
+    fn missing_ranges_into_reuses_scratch() {
+        let mut t = SeqTracker::new();
+        for s in [0u64, 2, 5] {
+            t.admit(s);
+        }
+        let mut scratch = Vec::with_capacity(8);
+        let cap = scratch.capacity();
+        t.missing_ranges_into(&mut scratch);
+        assert_eq!(scratch, vec![(1, 2), (3, 5)]);
+        assert_eq!(scratch.capacity(), cap);
     }
 }

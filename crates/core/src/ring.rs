@@ -1,0 +1,361 @@
+//! Window-ring state for the allocation-free datapath.
+//!
+//! The sliding window bounds how much per-frame bookkeeping can be live at
+//! once: a sender never has more than `window` unacknowledged frames per
+//! direction, and a receiver's gap starts all lie inside the span the sender
+//! may have put on the wire. Both invariants make a fixed-size array indexed
+//! by `seq mod capacity` (capacity = the window rounded up to a power of
+//! two) a drop-in replacement for the seq-keyed maps the hot path used to
+//! carry — every insert, lookup and removal is O(1) with **zero
+//! steady-state allocation**, where the `BTreeMap`/`HashMap` versions paid
+//! a node or bucket allocation per frame.
+//!
+//! Each slot is tagged with the full 64-bit sequence that owns it, so a
+//! stale lookup (a NACK for an already-acked frame, a gap start that has
+//! since been received) misses cleanly instead of aliasing a newer frame
+//! that hashes to the same slot.
+//!
+//! * [`TxRing`] — the sender's in-flight frames `[acked, sent_up_to)`:
+//!   the retransmission buffer fused with the per-frame transmission
+//!   bookkeeping (rail, send time, Karn retransmission mark).
+//! * [`GapRing`] — the receiver's NACK-dedup state, keyed by gap start:
+//!   when the gap was first observed and when it was last NACKed, purged
+//!   below the cumulative ack so its live size is window-bounded.
+//!
+//! `docs/PERFORMANCE.md` describes how these rings fit into the datapath
+//! benchmark's zero-allocation budget.
+
+use frame::Frame;
+use netsim::SimTime;
+
+/// One in-flight frame: the retransmission copy plus the transmission
+/// bookkeeping that used to live in separate seq-keyed maps.
+#[derive(Debug, Clone)]
+pub struct TxSlot {
+    /// Sequence number that owns this slot (the slot tag).
+    pub seq: u64,
+    /// Rail that carried the latest copy.
+    pub rail: usize,
+    /// When the latest copy was transmitted.
+    pub sent_at: SimTime,
+    /// Whether any copy was a retransmission (Karn's algorithm forbids RTT
+    /// samples from such frames).
+    pub retransmitted: bool,
+    /// The built frame, retained for retransmission until acknowledged.
+    pub frame: Frame,
+}
+
+/// Fixed-size ring of in-flight frames, indexed by `seq mod capacity`.
+///
+/// Holds exactly the window `[acked, sent_up_to)`; the window invariant
+/// guarantees distinct live sequences never collide.
+#[derive(Debug)]
+pub struct TxRing {
+    slots: Vec<Option<TxSlot>>,
+    mask: u64,
+    len: usize,
+}
+
+impl TxRing {
+    /// Ring sized so `window` in-flight frames never collide.
+    pub fn with_window(window: usize) -> Self {
+        let cap = window.max(1).next_power_of_two();
+        Self {
+            slots: (0..cap).map(|_| None).collect(),
+            mask: cap as u64 - 1,
+            len: 0,
+        }
+    }
+
+    /// Slot count (a power of two, ≥ the window).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Frames currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no frame is held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn idx(&self, seq: u64) -> usize {
+        (seq & self.mask) as usize
+    }
+
+    /// Insert a frame's slot. The window invariant means the target slot
+    /// must be free; a collision is a protocol bug, not an eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is still occupied (window overrun).
+    pub fn insert(&mut self, slot: TxSlot) {
+        let i = self.idx(slot.seq);
+        assert!(
+            self.slots[i].is_none(),
+            "TxRing slot collision: seq {} vs live seq {} (window overrun)",
+            slot.seq,
+            self.slots[i].as_ref().map_or(0, |s| s.seq),
+        );
+        self.slots[i] = Some(slot);
+        self.len += 1;
+    }
+
+    /// The slot owned by `seq`, if it is still in flight.
+    pub fn get(&self, seq: u64) -> Option<&TxSlot> {
+        self.slots[self.idx(seq)]
+            .as_ref()
+            .filter(|s| s.seq == seq)
+    }
+
+    /// Mutable access to the slot owned by `seq`.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut TxSlot> {
+        let i = self.idx(seq);
+        self.slots[i].as_mut().filter(|s| s.seq == seq)
+    }
+
+    /// True if `seq` is still in flight.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.get(seq).is_some()
+    }
+
+    /// Remove and return `seq`'s slot (on cumulative-ack advance).
+    pub fn remove(&mut self, seq: u64) -> Option<TxSlot> {
+        let i = self.idx(seq);
+        if self.slots[i].as_ref().is_some_and(|s| s.seq == seq) {
+            self.len -= 1;
+            self.slots[i].take()
+        } else {
+            None
+        }
+    }
+}
+
+/// NACK-dedup state for one gap: when it appeared and when it was last
+/// reported, so the delayed-NACK policy (paper §2.4) can age and pace gaps
+/// without a per-gap map entry.
+#[derive(Debug, Clone, Copy)]
+pub struct GapSlot {
+    /// Gap-start sequence that owns this slot (the slot tag).
+    pub seq: u64,
+    /// When the NACK check first observed this gap.
+    pub first_seen: SimTime,
+    /// When this gap was last NACKed (`None` until the first NACK).
+    pub last_nack: Option<SimTime>,
+}
+
+/// Fixed-size ring of per-gap NACK state, keyed by gap-start sequence.
+///
+/// Gap starts always lie in `[cumulative, cumulative + window)`, so with a
+/// capacity of at least the window, distinct live gap starts never collide;
+/// [`GapRing::purge_below`] retires slots the cumulative ack has passed,
+/// which keeps the live count window-bounded (the regression the old
+/// map-based code had to `retain()` against on every timer fire).
+#[derive(Debug)]
+pub struct GapRing {
+    slots: Vec<Option<GapSlot>>,
+    mask: u64,
+    len: usize,
+}
+
+impl GapRing {
+    /// Ring sized so `window` live gap starts never collide.
+    pub fn with_window(window: usize) -> Self {
+        let cap = window.max(1).next_power_of_two();
+        Self {
+            slots: (0..cap).map(|_| None).collect(),
+            mask: cap as u64 - 1,
+            len: 0,
+        }
+    }
+
+    /// Slot count (a power of two, ≥ the window).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Gap entries currently live.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no gap entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The entry for gap start `seq`, creating it (first seen `now`) if this
+    /// gap has not been tracked yet — the ring analogue of
+    /// `map.entry(seq).or_insert(now)`.
+    pub fn entry(&mut self, seq: u64, now: SimTime) -> &mut GapSlot {
+        let i = (seq & self.mask) as usize;
+        if self.slots[i].as_ref().is_none_or(|g| g.seq != seq) {
+            if self.slots[i].is_none() {
+                self.len += 1;
+            }
+            self.slots[i] = Some(GapSlot {
+                seq,
+                first_seen: now,
+                last_nack: None,
+            });
+        }
+        self.slots[i].as_mut().expect("just ensured occupied")
+    }
+
+    /// The entry for gap start `seq`, if tracked.
+    pub fn get(&self, seq: u64) -> Option<&GapSlot> {
+        self.slots[(seq & self.mask) as usize]
+            .as_ref()
+            .filter(|g| g.seq == seq)
+    }
+
+    /// Retire every entry whose gap start the cumulative ack has passed.
+    /// O(capacity), run per NACK-timer fire (not per frame).
+    pub fn purge_below(&mut self, cumulative: u64) {
+        for slot in &mut self.slots {
+            if slot.as_ref().is_some_and(|g| g.seq < cumulative) {
+                *slot = None;
+                self.len -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use frame::{FrameHeader, MacAddr};
+
+    fn frame(seq: u64) -> Frame {
+        Frame {
+            src: MacAddr::new(0, 0),
+            dst: MacAddr::new(1, 0),
+            header: FrameHeader {
+                seq: seq as u32,
+                ..FrameHeader::default()
+            },
+            payload: Bytes::new(),
+        }
+    }
+
+    fn tx_slot(seq: u64) -> TxSlot {
+        TxSlot {
+            seq,
+            rail: 0,
+            sent_at: SimTime::ZERO,
+            retransmitted: false,
+            frame: frame(seq),
+        }
+    }
+
+    #[test]
+    fn tx_round_trip_and_tag_check() {
+        let mut r = TxRing::with_window(64);
+        assert_eq!(r.capacity(), 64);
+        for seq in 0..64u64 {
+            r.insert(tx_slot(seq));
+        }
+        assert_eq!(r.len(), 64);
+        assert!(r.contains(0));
+        assert!(r.contains(63));
+        // A stale seq that aliases slot 0 must miss on the tag.
+        assert!(!r.contains(64));
+        assert!(r.get(128).is_none());
+        let s = r.remove(0).expect("live");
+        assert_eq!(s.seq, 0);
+        assert!(!r.contains(0));
+        assert!(r.remove(0).is_none(), "double remove misses");
+        // Slot 0 freed: the next window lap may claim it.
+        r.insert(tx_slot(64));
+        assert_eq!(r.get(64).map(|s| s.seq), Some(64));
+    }
+
+    #[test]
+    fn tx_get_mut_updates_in_place() {
+        let mut r = TxRing::with_window(8);
+        r.insert(tx_slot(3));
+        let s = r.get_mut(3).expect("live");
+        s.rail = 2;
+        s.retransmitted = true;
+        assert_eq!(r.get(3).map(|s| (s.rail, s.retransmitted)), Some((2, true)));
+        assert!(r.get_mut(3 + 8).is_none(), "aliasing seq misses on tag");
+    }
+
+    #[test]
+    #[should_panic(expected = "window overrun")]
+    fn tx_collision_panics() {
+        let mut r = TxRing::with_window(4);
+        r.insert(tx_slot(1));
+        r.insert(tx_slot(5)); // 5 mod 4 == 1 while 1 is still live
+    }
+
+    #[test]
+    fn tx_capacity_rounds_up() {
+        assert_eq!(TxRing::with_window(5).capacity(), 8);
+        assert_eq!(TxRing::with_window(1).capacity(), 1);
+        assert_eq!(TxRing::with_window(64).capacity(), 64);
+    }
+
+    #[test]
+    fn gap_entry_is_or_insert() {
+        let mut g = GapRing::with_window(64);
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + netsim::time::us(5);
+        let e = g.entry(7, t0);
+        assert_eq!(e.first_seen, t0);
+        assert_eq!(e.last_nack, None);
+        e.last_nack = Some(t0);
+        // Re-entry keeps the recorded state (or_insert semantics).
+        let e = g.entry(7, t1);
+        assert_eq!(e.first_seen, t0);
+        assert_eq!(e.last_nack, Some(t0));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn gap_purge_below_retires_passed_gaps() {
+        let mut g = GapRing::with_window(16);
+        let now = SimTime::ZERO;
+        for seq in [2u64, 5, 9] {
+            g.entry(seq, now);
+        }
+        assert_eq!(g.len(), 3);
+        g.purge_below(6);
+        assert_eq!(g.len(), 1);
+        assert!(g.get(2).is_none());
+        assert!(g.get(5).is_none());
+        assert!(g.get(9).is_some());
+        // A purged start re-entering (can't happen live, but must be safe)
+        // is treated as fresh.
+        let later = now + netsim::time::us(1);
+        assert_eq!(g.entry(5, later).first_seen, later);
+    }
+
+    #[test]
+    fn gap_live_size_stays_window_bounded_under_churn() {
+        // Lossy-soak shape: gaps appear ahead of the cumulative ack, the
+        // ack advances, purge retires what it passed. Live size must track
+        // the window, not total loss history.
+        let mut g = GapRing::with_window(64);
+        let now = SimTime::ZERO;
+        let mut cumulative = 0u64;
+        for round in 0..1000u64 {
+            // Every 3rd sequence in the next window chunk is a gap start.
+            for k in (0..64u64).step_by(3) {
+                g.entry(cumulative + k, now);
+            }
+            cumulative += 64;
+            g.purge_below(cumulative);
+            assert!(
+                g.len() <= 64,
+                "round {round}: {} live gaps exceeds window",
+                g.len()
+            );
+        }
+        assert_eq!(g.len(), 0, "fully acked soak must end empty");
+    }
+}

@@ -108,18 +108,33 @@ fn write_header(buf: &mut [u8], h: &FrameHeader, payload_len: usize) {
 /// Panics if the payload exceeds [`MAX_PAYLOAD`] — fragmentation is the
 /// sender's job and a larger payload is a protocol-layer bug.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_frame_into(frame, &mut buf);
+    buf
+}
+
+/// Serialize a frame into a caller-owned scratch buffer, reusing its
+/// capacity. The buffer is cleared first; after the call it holds exactly
+/// the encoded frame. Hot paths that encode many frames should hold one
+/// scratch `Vec` and call this instead of [`encode_frame`].
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_PAYLOAD`] — fragmentation is the
+/// sender's job and a larger payload is a protocol-layer bug.
+pub fn encode_frame_into(frame: &Frame, buf: &mut Vec<u8>) {
     assert!(
         frame.payload.len() <= MAX_PAYLOAD,
         "payload {} exceeds MTU budget {}",
         frame.payload.len(),
         MAX_PAYLOAD
     );
-    let mut buf = vec![0u8; HEADER_LEN + frame.payload.len()];
-    write_header(&mut buf, &frame.header, frame.payload.len());
+    buf.clear();
+    buf.resize(HEADER_LEN + frame.payload.len(), 0);
+    write_header(buf, &frame.header, frame.payload.len());
     buf[HEADER_LEN..].copy_from_slice(&frame.payload);
-    let sum = fnv1a(&[&buf]);
+    let sum = fnv1a(&[buf.as_slice()]);
     buf[46..50].copy_from_slice(&sum.to_le_bytes());
-    buf
 }
 
 fn rd_u16(b: &[u8], o: usize) -> u16 {
@@ -204,10 +219,17 @@ mod tests {
         }
     }
 
+    /// Test-local scratch encode, exercising the reuse entry point.
+    fn encode(f: &Frame) -> Vec<u8> {
+        let mut buf = Vec::new();
+        encode_frame_into(f, &mut buf);
+        buf
+    }
+
     #[test]
     fn round_trip() {
         let f = sample_frame(b"hello multiedge");
-        let wire = encode_frame(&f);
+        let wire = encode(&f);
         let g = decode_frame(f.src, f.dst, &wire).unwrap();
         assert_eq!(f, g);
     }
@@ -215,7 +237,7 @@ mod tests {
     #[test]
     fn round_trip_empty_payload() {
         let f = sample_frame(b"");
-        let wire = encode_frame(&f);
+        let wire = encode(&f);
         assert_eq!(wire.len(), HEADER_LEN);
         let g = decode_frame(f.src, f.dst, &wire).unwrap();
         assert_eq!(f, g);
@@ -224,7 +246,7 @@ mod tests {
     #[test]
     fn corrupt_payload_detected() {
         let f = sample_frame(b"payload bytes here");
-        let mut wire = encode_frame(&f);
+        let mut wire = encode(&f);
         *wire.last_mut().unwrap() ^= 0x40;
         match decode_frame(f.src, f.dst, &wire) {
             Err(CodecError::Checksum { .. }) => {}
@@ -235,7 +257,7 @@ mod tests {
     #[test]
     fn corrupt_header_detected() {
         let f = sample_frame(b"x");
-        let mut wire = encode_frame(&f);
+        let mut wire = encode(&f);
         wire[8] ^= 1; // flip a seq bit
         assert!(matches!(
             decode_frame(f.src, f.dst, &wire),
@@ -246,7 +268,7 @@ mod tests {
     #[test]
     fn truncated_detected() {
         let f = sample_frame(b"abc");
-        let wire = encode_frame(&f);
+        let wire = encode(&f);
         assert!(matches!(
             decode_frame(f.src, f.dst, &wire[..10]),
             Err(CodecError::Truncated { got: 10 })
@@ -256,7 +278,7 @@ mod tests {
     #[test]
     fn bad_kind_detected() {
         let f = sample_frame(b"");
-        let mut wire = encode_frame(&f);
+        let mut wire = encode(&f);
         wire[0] = 99;
         assert!(matches!(
             decode_frame(f.src, f.dst, &wire),
@@ -265,9 +287,22 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_reuses_capacity_and_matches_wrapper() {
+        let big = sample_frame(&[7u8; 900]);
+        let small = sample_frame(b"tiny");
+        let mut scratch = Vec::new();
+        encode_frame_into(&big, &mut scratch);
+        assert_eq!(scratch, encode_frame(&big));
+        let cap = scratch.capacity();
+        encode_frame_into(&small, &mut scratch);
+        assert_eq!(scratch, encode_frame(&small));
+        assert_eq!(scratch.capacity(), cap, "scratch must be reused");
+    }
+
+    #[test]
     fn declared_length_beyond_buffer_detected() {
         let f = sample_frame(b"abcd");
-        let mut wire = encode_frame(&f);
+        let mut wire = encode(&f);
         wire[44..46].copy_from_slice(&100u16.to_le_bytes());
         assert!(matches!(
             decode_frame(f.src, f.dst, &wire),

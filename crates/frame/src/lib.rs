@@ -21,11 +21,13 @@
 //! layout, sizes and the checksum are under test and stable.
 
 pub mod codec;
+pub mod fasthash;
 pub mod header;
 pub mod mac;
 pub mod nack;
 
-pub use codec::{decode_frame, encode_frame, CodecError};
+pub use codec::{decode_frame, encode_frame, encode_frame_into, CodecError};
+pub use fasthash::{FastHasher, FastMap};
 pub use header::{FrameFlags, FrameHeader, FrameKind, HEADER_LEN};
 pub use mac::MacAddr;
 pub use nack::NackRanges;

@@ -1,13 +1,37 @@
 //! The discrete-event engine and its cooperative task executor.
 //!
 //! A [`Sim`] owns a priority queue of events keyed by `(time, sequence)`.
-//! Events are either boxed closures (used by the network and protocol state
+//! Events are either closures (used by the network and protocol state
 //! machines) or *task polls*. Tasks are ordinary Rust futures driven by a
 //! bespoke single-threaded executor: every leaf future in this workspace
 //! ([`crate::sync::Delay`], [`crate::sync::Flag`], …) registers the task that
 //! polled it with a simulator event, and event completion schedules a re-poll.
 //! There are no OS threads and no real wakers, so a run is bit-for-bit
 //! deterministic for a given seed.
+//!
+//! # Mechanical sympathy
+//!
+//! The event queue is the innermost loop of every benchmark, so it avoids
+//! per-event heap traffic twice over:
+//!
+//! * **Inline closures.** Event closures are stored in a fixed 160-byte
+//!   buffer inside the queue entry (`InlineEvent`) instead of a
+//!   `Box<dyn FnOnce>`; only closures too big for the buffer fall back to a
+//!   box. The protocol's hot closures (a handful of `Rc` handles plus a
+//!   frame) fit inline, so steady-state scheduling allocates nothing.
+//!
+//! * **A staging timer wheel.** Near-future events land in a hashed wheel
+//!   (slot = time quantum mod wheel size) as an O(1) append; only events
+//!   beyond the wheel horizon use the `BinaryHeap`. A slot is sorted once,
+//!   lazily, when it becomes the next candidate. Because the pop loop
+//!   always takes the global `(time, seq)` minimum across wheel and heap,
+//!   execution order — and therefore every RNG draw and statistic — is
+//!   bit-identical to the heap-only engine.
+//!
+//! High-churn timers (interrupt moderation and the like) can additionally be
+//! armed through [`Sim::schedule_timer_in`], which returns a [`TimerId`]
+//! whose [`Sim::cancel_timer`] is an O(1) tombstone: the queue entry is
+//! skipped at pop time without executing or counting it.
 //!
 //! The paper's "application CPU vs. protocol CPU" split maps onto this:
 //! application code runs in tasks; protocol processing runs in event closures
@@ -21,6 +45,7 @@ use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::future::Future;
+use std::mem::MaybeUninit;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
@@ -29,16 +54,141 @@ use std::task::{Context, Poll, Waker};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TaskId(usize);
 
-type EventFn = Box<dyn FnOnce(&Sim)>;
+// ---------------------------------------------------------------------------
+// Inline event storage
+// ---------------------------------------------------------------------------
 
+/// Closure payload capacity of an `InlineEvent`. Sized for the protocol's
+/// receive/transmit closures (endpoint handle + frame ≈ 120 bytes).
+const INLINE_BYTES: usize = 160;
+const INLINE_WORDS: usize = INLINE_BYTES / 16;
+
+struct EventVtable {
+    call: unsafe fn(*mut u8, &Sim),
+    drop_in_place: unsafe fn(*mut u8),
+}
+
+unsafe fn call_impl<F: FnOnce(&Sim)>(p: *mut u8, sim: &Sim) {
+    // Safety: `p` points at a valid, initialized `F` that is read exactly
+    // once (the vtable is cleared by the caller before invoking).
+    let f = unsafe { std::ptr::read(p.cast::<F>()) };
+    f(sim);
+}
+
+unsafe fn drop_impl<F>(p: *mut u8) {
+    // Safety: same ownership contract as `call_impl`.
+    unsafe { std::ptr::drop_in_place(p.cast::<F>()) }
+}
+
+struct Vt<F>(std::marker::PhantomData<F>);
+
+impl<F: FnOnce(&Sim) + 'static> Vt<F> {
+    const VTABLE: EventVtable = EventVtable {
+        call: call_impl::<F>,
+        drop_in_place: drop_impl::<F>,
+    };
+}
+
+/// A `FnOnce(&Sim)` stored inline in the queue entry (no allocation) when it
+/// fits in [`INLINE_BYTES`], with a boxed fallback for oversized closures.
+struct InlineEvent {
+    buf: [MaybeUninit<u128>; INLINE_WORDS],
+    /// `None` after the closure has been taken (invoked) — also the Drop
+    /// guard: a live vtable means the buffer holds a value to destroy.
+    vtable: Option<&'static EventVtable>,
+}
+
+impl InlineEvent {
+    fn new<F: FnOnce(&Sim) + 'static>(f: F) -> Self {
+        if std::mem::size_of::<F>() <= INLINE_BYTES && std::mem::align_of::<F>() <= 16 {
+            Self::store(f)
+        } else {
+            // The box itself (a 16-byte fat pointer) is stored inline; its
+            // `FnOnce` impl forwards to the heap closure.
+            let boxed: Box<dyn FnOnce(&Sim)> = Box::new(f);
+            Self::store(boxed)
+        }
+    }
+
+    fn store<F: FnOnce(&Sim) + 'static>(f: F) -> Self {
+        debug_assert!(std::mem::size_of::<F>() <= INLINE_BYTES);
+        debug_assert!(std::mem::align_of::<F>() <= 16);
+        let mut buf = [MaybeUninit::<u128>::uninit(); INLINE_WORDS];
+        // Safety: the buffer is 16-byte aligned and large enough (checked
+        // above); ownership of `f` moves into the buffer.
+        unsafe { std::ptr::write(buf.as_mut_ptr().cast::<F>(), f) };
+        Self {
+            buf,
+            vtable: Some(&Vt::<F>::VTABLE),
+        }
+    }
+
+    fn invoke(mut self, sim: &Sim) {
+        if let Some(vt) = self.vtable.take() {
+            // Safety: vtable was live, so the buffer holds the closure; it
+            // is read exactly once and the cleared vtable disarms Drop.
+            unsafe { (vt.call)(self.buf.as_mut_ptr().cast::<u8>(), sim) }
+        }
+    }
+}
+
+impl Drop for InlineEvent {
+    fn drop(&mut self) {
+        if let Some(vt) = self.vtable.take() {
+            // Safety: a live vtable means the buffer still owns the closure.
+            unsafe { (vt.drop_in_place)(self.buf.as_mut_ptr().cast::<u8>()) }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellable timers
+// ---------------------------------------------------------------------------
+
+/// Handle to a timer armed with [`Sim::schedule_timer_in`] /
+/// [`Sim::schedule_timer_at`]. Generation-checked, so a stale id (fired or
+/// already cancelled) is a harmless no-op to cancel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerId {
+    idx: u32,
+    gen: u32,
+}
+
+impl TimerId {
+    /// Sentinel meaning "no timer armed"; cancelling it is a no-op.
+    pub const NONE: TimerId = TimerId {
+        idx: u32::MAX,
+        gen: 0,
+    };
+}
+
+#[derive(Clone, Copy)]
+struct TimerRec {
+    gen: u32,
+    armed: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Queue entries
+// ---------------------------------------------------------------------------
+
+/// What a queue entry runs. `Call` holds a handle into the event slab
+/// rather than the closure itself, keeping queue entries small and `Copy` —
+/// heap sifts and wheel-slot sorts move 40 bytes, not a 160-byte closure
+/// buffer.
+#[derive(Clone, Copy)]
 enum What {
-    Call(EventFn),
+    Call(u32),
     Poll(TaskId),
 }
 
+#[derive(Clone, Copy)]
 struct Scheduled {
     time: SimTime,
     seq: u64,
+    /// Slab handle of the owning timer, or [`TimerId::NONE`]. A cancelled
+    /// timer's entry is skipped at pop time.
+    timer: TimerId,
     what: What,
 }
 
@@ -60,6 +210,56 @@ impl Ord for Scheduled {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------------
+
+/// log2 of the wheel quantum in nanoseconds (2^15 ns ≈ 32.8 µs).
+const QUANTUM_SHIFT: u32 = 15;
+/// Number of wheel slots. Horizon = slots × quantum ≈ 134 ms, comfortably
+/// past the protocol's largest timer (`rto_max` = 100 ms); later events go
+/// to the heap.
+const WHEEL_SLOTS: u64 = 1 << 12;
+
+/// Null arena index.
+const NIL: u32 = u32::MAX;
+
+/// One wheel entry in the shared arena: the event plus the next link of its
+/// slot's chain. Slots chain into one arena rather than owning a `Vec`
+/// each — a fresh simulation touches a new slot every quantum of virtual
+/// time, and growing per-slot storage there would allocate in proportion to
+/// simulated time. The arena's capacity tracks the maximum number of
+/// *concurrent* wheel entries instead, so its growth is bounded and the
+/// steady state allocates nothing.
+#[derive(Clone, Copy)]
+struct WheelEntry {
+    ev: Scheduled,
+    next: u32,
+}
+
+#[derive(Clone, Copy)]
+struct WheelSlot {
+    /// Head of this slot's arena chain (`NIL` when empty). Push order until
+    /// first drain contact, then relinked in ascending `(time, seq)`.
+    head: u32,
+    /// The chain is sorted and being drained. While set, new arrivals for
+    /// this quantum divert to the heap so sortedness holds.
+    sorted: bool,
+}
+
+impl Default for WheelSlot {
+    fn default() -> Self {
+        Self {
+            head: NIL,
+            sorted: false,
+        }
+    }
+}
+
+fn quantum(t: SimTime) -> u64 {
+    t.as_nanos() >> QUANTUM_SHIFT
+}
+
 struct Task {
     future: Pin<Box<dyn Future<Output = ()>>>,
     name: String,
@@ -71,11 +271,230 @@ struct SimInner {
     now: SimTime,
     seq: u64,
     heap: BinaryHeap<Scheduled>,
+    wheel: Vec<WheelSlot>,
+    /// Backing store for every slot's entry chain.
+    wheel_arena: Vec<WheelEntry>,
+    wheel_free: Vec<u32>,
+    /// Reused by [`SimInner::sort_slot`].
+    wheel_scratch: Vec<(SimTime, u64, u32)>,
+    /// Undrained entries currently in the wheel.
+    wheel_len: usize,
+    /// No occupied slot has a quantum below this (scan start hint).
+    wheel_min_q: u64,
+    timers: Vec<TimerRec>,
+    timer_free: Vec<u32>,
+    /// Slab of queued closures, addressed by [`What::Call`] handles. Slots
+    /// are recycled through `event_free`, so the steady state allocates
+    /// nothing per event.
+    event_store: Vec<InlineEvent>,
+    event_free: Vec<u32>,
     tasks: Vec<Option<Task>>,
     live_tasks: usize,
     current_task: Option<TaskId>,
     rng: SmallRng,
     events_executed: u64,
+}
+
+impl SimInner {
+    /// Park a closure in the event slab, returning its handle.
+    fn store_event(&mut self, ev: InlineEvent) -> u32 {
+        if let Some(i) = self.event_free.pop() {
+            self.event_store[i as usize] = ev;
+            i
+        } else {
+            self.event_store.push(ev);
+            (self.event_store.len() - 1) as u32
+        }
+    }
+
+    /// Move a closure out of the slab, recycling its slot. Only the vtable
+    /// is cleared in place (that alone disarms the slot's Drop); the stale
+    /// buffer bytes are dead and get overwritten by the next occupant.
+    fn take_event(&mut self, i: u32) -> InlineEvent {
+        self.event_free.push(i);
+        let slot = &mut self.event_store[i as usize];
+        InlineEvent {
+            buf: slot.buf,
+            vtable: slot.vtable.take(),
+        }
+    }
+
+    /// Assign the next sequence number and enqueue, routing near-future
+    /// events to the wheel and far-future ones to the heap.
+    fn push_event(&mut self, at: SimTime, timer: TimerId, what: What) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        let ev = Scheduled {
+            time: at,
+            seq,
+            timer,
+            what,
+        };
+        let q = quantum(at);
+        if q >= quantum(self.now) + WHEEL_SLOTS {
+            self.heap.push(ev);
+            return;
+        }
+        let s = (q % WHEEL_SLOTS) as usize;
+        let idx = if let Some(i) = self.wheel_free.pop() {
+            i
+        } else {
+            self.wheel_arena.push(WheelEntry { ev, next: NIL });
+            (self.wheel_arena.len() - 1) as u32
+        };
+        if self.wheel[s].sorted {
+            // Mid-drain: splice into the chain at its key position so drain
+            // order stays `(time, seq)`-ascending. Chains hold a handful of
+            // entries, so the walk is cheap — and it keeps same-quantum
+            // arrivals (the common case in a busy simulation) off the heap.
+            let key = (ev.time, ev.seq);
+            let mut prev = NIL;
+            let mut cur = self.wheel[s].head;
+            while cur != NIL {
+                let e = &self.wheel_arena[cur as usize];
+                if (e.ev.time, e.ev.seq) > key {
+                    break;
+                }
+                prev = cur;
+                cur = e.next;
+            }
+            self.wheel_arena[idx as usize] = WheelEntry { ev, next: cur };
+            if prev == NIL {
+                self.wheel[s].head = idx;
+            } else {
+                self.wheel_arena[prev as usize].next = idx;
+            }
+        } else {
+            let head = self.wheel[s].head;
+            self.wheel_arena[idx as usize] = WheelEntry { ev, next: head };
+            self.wheel[s].head = idx;
+        }
+        self.wheel_len += 1;
+        if q < self.wheel_min_q {
+            self.wheel_min_q = q;
+        }
+    }
+
+    /// Relink slot `s`'s chain in ascending `(time, seq)` order.
+    fn sort_slot(&mut self, s: usize) {
+        let mut scratch = std::mem::take(&mut self.wheel_scratch);
+        scratch.clear();
+        let mut i = self.wheel[s].head;
+        while i != NIL {
+            let e = &self.wheel_arena[i as usize];
+            scratch.push((e.ev.time, e.ev.seq, i));
+            i = e.next;
+        }
+        // Relink back-to-front so the minimum key ends up at the head.
+        scratch.sort_unstable_by_key(|&(t, seq, _)| std::cmp::Reverse((t, seq)));
+        let mut head = NIL;
+        for &(_, _, i) in scratch.iter() {
+            self.wheel_arena[i as usize].next = head;
+            head = i;
+        }
+        self.wheel[s].head = head;
+        self.wheel[s].sorted = true;
+        self.wheel_scratch = scratch;
+    }
+
+    /// Locate the wheel's minimum-key entry: the first occupied slot at or
+    /// above the scan hint (slot quanta are unique among live entries, so
+    /// the first occupied slot holds the minimum quantum). Sorts the slot
+    /// on first contact. Only called when `wheel_len > 0`.
+    fn wheel_candidate(&mut self) -> usize {
+        let mut q = self.wheel_min_q;
+        loop {
+            let s = (q % WHEEL_SLOTS) as usize;
+            if self.wheel[s].head != NIL {
+                if !self.wheel[s].sorted {
+                    self.sort_slot(s);
+                }
+                self.wheel_min_q = q;
+                return s;
+            }
+            q += 1;
+        }
+    }
+
+    /// Pop the globally earliest event, skipping cancelled timers. Advances
+    /// `now` and the event counter for the returned event. Returns `None`
+    /// when the queue is empty or the next event lies beyond `limit` (the
+    /// event stays queued).
+    fn pop_next(&mut self, limit: Option<SimTime>) -> Option<Scheduled> {
+        loop {
+            let heap_key = self.heap.peek().map(|e| (e.time, e.seq));
+            let wheel_slot = if self.wheel_len > 0 {
+                Some(self.wheel_candidate())
+            } else {
+                None
+            };
+            let wheel_key = wheel_slot.map(|s| {
+                let e = &self.wheel_arena[self.wheel[s].head as usize].ev;
+                (e.time, e.seq)
+            });
+            let take_wheel = match (heap_key, wheel_key) {
+                (None, None) => return None,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(h), Some(w)) => w < h,
+            };
+            let key = if take_wheel { wheel_key } else { heap_key }.unwrap();
+            if let Some(lim) = limit {
+                if key.0 > lim {
+                    return None;
+                }
+            }
+            let ev = if take_wheel {
+                let s = wheel_slot.unwrap();
+                let head = self.wheel[s].head;
+                let WheelEntry { ev, next } = self.wheel_arena[head as usize];
+                self.wheel_free.push(head);
+                self.wheel[s].head = next;
+                if next == NIL {
+                    self.wheel[s].sorted = false;
+                }
+                self.wheel_len -= 1;
+                ev
+            } else {
+                self.heap.pop().unwrap()
+            };
+            if ev.timer != TimerId::NONE {
+                let rec = &mut self.timers[ev.timer.idx as usize];
+                if !(rec.armed && rec.gen == ev.timer.gen) {
+                    // Cancelled: drop the closure without running it. The
+                    // clock and event counter are untouched — a later live
+                    // event will advance them past this point anyway.
+                    if let What::Call(idx) = ev.what {
+                        drop(self.take_event(idx));
+                    }
+                    continue;
+                }
+                // Fires now: retire the slab entry so the id goes stale.
+                rec.armed = false;
+                rec.gen = rec.gen.wrapping_add(1);
+                self.timer_free.push(ev.timer.idx);
+            }
+            self.now = ev.time;
+            self.events_executed += 1;
+            return Some(ev);
+        }
+    }
+
+    fn alloc_timer(&mut self) -> TimerId {
+        if let Some(idx) = self.timer_free.pop() {
+            let rec = &mut self.timers[idx as usize];
+            rec.armed = true;
+            TimerId { idx, gen: rec.gen }
+        } else {
+            let idx = self.timers.len() as u32;
+            self.timers.push(TimerRec {
+                gen: 0,
+                armed: true,
+            });
+            TimerId { idx, gen: 0 }
+        }
+    }
 }
 
 /// Outcome of [`Sim::run`].
@@ -122,6 +541,16 @@ impl Sim {
                 now: SimTime::ZERO,
                 seq: 0,
                 heap: BinaryHeap::new(),
+                wheel: (0..WHEEL_SLOTS).map(|_| WheelSlot::default()).collect(),
+                wheel_arena: Vec::new(),
+                wheel_free: Vec::new(),
+                wheel_scratch: Vec::new(),
+                wheel_len: 0,
+                wheel_min_q: 0,
+                timers: Vec::new(),
+                timer_free: Vec::new(),
+                event_store: Vec::new(),
+                event_free: Vec::new(),
                 tasks: Vec::new(),
                 live_tasks: 0,
                 current_task: None,
@@ -144,20 +573,52 @@ impl Sim {
     /// Schedule `f` to run at absolute time `at` (clamped to now).
     pub fn schedule_at(&self, at: SimTime, f: impl FnOnce(&Sim) + 'static) {
         let mut inner = self.inner.borrow_mut();
-        let at = at.max(inner.now);
-        let seq = inner.seq;
-        inner.seq += 1;
-        inner.heap.push(Scheduled {
-            time: at,
-            seq,
-            what: What::Call(Box::new(f)),
-        });
+        let idx = inner.store_event(InlineEvent::new(f));
+        inner.push_event(at, TimerId::NONE, What::Call(idx));
     }
 
     /// Schedule `f` to run after `d`.
     pub fn schedule_in(&self, d: Dur, f: impl FnOnce(&Sim) + 'static) {
         let at = self.now() + d;
         self.schedule_at(at, f);
+    }
+
+    /// Schedule `f` at absolute time `at` as a *cancellable* timer. The
+    /// returned id is single-shot: it goes stale once the timer fires.
+    pub fn schedule_timer_at(&self, at: SimTime, f: impl FnOnce(&Sim) + 'static) -> TimerId {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.alloc_timer();
+        let idx = inner.store_event(InlineEvent::new(f));
+        inner.push_event(at, id, What::Call(idx));
+        id
+    }
+
+    /// Schedule `f` after `d` as a *cancellable* timer.
+    pub fn schedule_timer_in(&self, d: Dur, f: impl FnOnce(&Sim) + 'static) -> TimerId {
+        let at = self.now() + d;
+        self.schedule_timer_at(at, f)
+    }
+
+    /// Cancel a timer in O(1). The queued closure is dropped unexecuted at
+    /// pop time (it does not count as an executed event). Returns whether
+    /// the timer was still pending; cancelling a fired or already-cancelled
+    /// timer is a no-op.
+    pub fn cancel_timer(&self, id: TimerId) -> bool {
+        if id == TimerId::NONE {
+            return false;
+        }
+        let mut inner = self.inner.borrow_mut();
+        let Some(rec) = inner.timers.get_mut(id.idx as usize) else {
+            return false;
+        };
+        if rec.armed && rec.gen == id.gen {
+            rec.armed = false;
+            rec.gen = rec.gen.wrapping_add(1);
+            inner.timer_free.push(id.idx);
+            true
+        } else {
+            false
+        }
     }
 
     /// Run `f` with the simulator RNG.
@@ -192,26 +653,15 @@ impl Sim {
             return;
         }
         t.poll_queued = true;
-        let (time, seq) = (inner.now, inner.seq);
-        inner.seq += 1;
-        inner.heap.push(Scheduled {
-            time,
-            seq,
-            what: What::Poll(task),
-        });
+        let now = inner.now;
+        inner.push_event(now, TimerId::NONE, What::Poll(task));
     }
 
     /// Queue a re-poll of `task` at absolute time `at` (used by timers).
     pub(crate) fn wake_task_at(&self, task: TaskId, at: SimTime) {
-        let mut inner = self.inner.borrow_mut();
-        let at = at.max(inner.now);
-        let seq = inner.seq;
-        inner.seq += 1;
-        inner.heap.push(Scheduled {
-            time: at,
-            seq,
-            what: What::Poll(task),
-        });
+        self.inner
+            .borrow_mut()
+            .push_event(at, TimerId::NONE, What::Poll(task));
     }
 
     /// Spawn a future as a simulation task; it begins running at the current
@@ -229,7 +679,7 @@ impl Sim {
             *cell.borrow_mut() = Some(out);
             flag.fire();
         };
-        let id = {
+        {
             let mut inner = self.inner.borrow_mut();
             let id = TaskId(inner.tasks.len());
             inner.tasks.push(Some(Task {
@@ -238,16 +688,9 @@ impl Sim {
                 poll_queued: true,
             }));
             inner.live_tasks += 1;
-            let (time, seq) = (inner.now, inner.seq);
-            inner.seq += 1;
-            inner.heap.push(Scheduled {
-                time,
-                seq,
-                what: What::Poll(id),
-            });
-            id
-        };
-        let _ = id;
+            let now = inner.now;
+            inner.push_event(now, TimerId::NONE, What::Poll(id));
+        }
         handle
     }
 
@@ -287,24 +730,16 @@ impl Sim {
         loop {
             let next = {
                 let mut inner = self.inner.borrow_mut();
-                match inner.heap.pop() {
+                match inner.pop_next(limit) {
                     None => break,
-                    Some(ev) => {
-                        if let Some(lim) = limit {
-                            if ev.time > lim {
-                                // Push back and stop: caller inspects state.
-                                inner.heap.push(ev);
-                                break;
-                            }
-                        }
-                        inner.now = ev.time;
-                        inner.events_executed += 1;
-                        ev
-                    }
+                    Some(ev) => ev,
                 }
             };
             match next.what {
-                What::Call(f) => f(self),
+                What::Call(idx) => {
+                    let f = self.inner.borrow_mut().take_event(idx);
+                    f.invoke(self);
+                }
                 What::Poll(id) => self.poll_task(id),
             }
         }
@@ -329,7 +764,7 @@ impl Sim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::time::us;
+    use crate::time::{ms, us};
 
     #[test]
     fn events_run_in_time_order_with_fifo_ties() {
@@ -387,5 +822,126 @@ mod tests {
         // The event is still queued and fires on a later unrestricted run.
         sim.run();
         assert_eq!(*hit.borrow(), 1);
+    }
+
+    #[test]
+    fn wheel_and_heap_interleave_in_time_order() {
+        // Mix near events (wheel) with far ones (beyond the ~134 ms wheel
+        // horizon, so they sit in the heap) and events scheduled from inside
+        // events; order must be globally sorted regardless of the backing
+        // structure.
+        let sim = Sim::new(3);
+        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let mut expect = Vec::new();
+        for &t_us in &[250_000u64, 3, 140_000, 7, 500_000, 7, 33, 160_000] {
+            let l = log.clone();
+            sim.schedule_in(us(t_us), move |sim| l.borrow_mut().push(sim.now().as_nanos()));
+            expect.push(t_us * 1_000);
+        }
+        let l = log.clone();
+        sim.schedule_in(us(1), move |sim| {
+            // From t=1µs, +200ms is beyond the horizon (heap), +5µs is not.
+            let l2 = l.clone();
+            sim.schedule_in(ms(200), move |sim| l2.borrow_mut().push(sim.now().as_nanos()));
+            let l3 = l.clone();
+            sim.schedule_in(us(5), move |sim| l3.borrow_mut().push(sim.now().as_nanos()));
+        });
+        expect.push(200_001_000);
+        expect.push(6_000);
+        expect.sort_unstable();
+        sim.run().expect_quiescent();
+        assert_eq!(*log.borrow(), expect);
+    }
+
+    #[test]
+    fn fifo_ties_hold_across_wheel_and_heap() {
+        // Two events at the same instant, one landing in the wheel and one
+        // diverted to the heap (scheduled before the horizon reaches it),
+        // must still run in scheduling order.
+        let sim = Sim::new(0);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let (a, b) = (log.clone(), log.clone());
+        sim.schedule_in(ms(200), move |_| a.borrow_mut().push(1)); // heap (beyond horizon)
+        let s = sim.clone();
+        sim.schedule_in(ms(190), move |_| {
+            // Now ms(200) is within the horizon: lands in the wheel, but
+            // carries a later seq than the heap-resident tie.
+            s.schedule_in(ms(10), move |_| b.borrow_mut().push(2));
+        });
+        sim.run().expect_quiescent();
+        assert_eq!(*log.borrow(), vec![1, 2]);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let sim = Sim::new(0);
+        let hit: Rc<RefCell<u32>> = Rc::default();
+        let h = hit.clone();
+        let id = sim.schedule_timer_in(us(10), move |_| *h.borrow_mut() += 1);
+        assert!(sim.cancel_timer(id));
+        assert!(!sim.cancel_timer(id), "double cancel is a no-op");
+        let report = sim.run();
+        assert_eq!(*hit.borrow(), 0);
+        // The tombstone is skipped silently: no event executed.
+        assert_eq!(report.events, 0);
+    }
+
+    #[test]
+    fn fired_timer_id_goes_stale() {
+        let sim = Sim::new(0);
+        let hit: Rc<RefCell<u32>> = Rc::default();
+        let h = hit.clone();
+        let id = sim.schedule_timer_in(us(10), move |_| *h.borrow_mut() += 1);
+        sim.run();
+        assert_eq!(*hit.borrow(), 1);
+        assert!(!sim.cancel_timer(id), "cancel after fire is a no-op");
+        // Slab slot reuse must not resurrect the stale id.
+        let h2 = hit.clone();
+        let id2 = sim.schedule_timer_in(us(10), move |_| *h2.borrow_mut() += 10);
+        assert_ne!(id, id2);
+        assert!(!sim.cancel_timer(id));
+        sim.run();
+        assert_eq!(*hit.borrow(), 11);
+    }
+
+    #[test]
+    fn cancel_reschedule_churn_is_correct() {
+        // The moderation pattern: arm, cancel, re-arm many times; only the
+        // last armed timer fires.
+        let sim = Sim::new(0);
+        let hits: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let mut last = None;
+        for i in 0..100u32 {
+            if let Some(id) = last.take() {
+                sim.cancel_timer(id);
+            }
+            let h = hits.clone();
+            last = Some(sim.schedule_timer_in(us(10 + (i % 7) as u64), move |_| {
+                h.borrow_mut().push(i)
+            }));
+        }
+        sim.run().expect_quiescent();
+        assert_eq!(*hits.borrow(), vec![99]);
+    }
+
+    #[test]
+    fn oversized_closures_fall_back_to_box() {
+        // Capture far more than INLINE_BYTES; the event must still run and
+        // drop cleanly (including when never invoked).
+        let sim = Sim::new(0);
+        let big = [7u8; 4 * INLINE_BYTES];
+        let sum: Rc<RefCell<u64>> = Rc::default();
+        let s = sum.clone();
+        sim.schedule_in(us(1), move |_| {
+            *s.borrow_mut() = big.iter().map(|&b| b as u64).sum();
+        });
+        sim.run().expect_quiescent();
+        assert_eq!(*sum.borrow(), 7 * 4 * INLINE_BYTES as u64);
+
+        // Never-invoked oversized closure: cancelled timer drops the box.
+        let big2 = vec![1u8; 4 * INLINE_BYTES];
+        let id = sim.schedule_timer_in(us(1), move |_| drop(big2));
+        sim.cancel_timer(id);
+        sim.run().expect_quiescent();
     }
 }

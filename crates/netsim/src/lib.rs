@@ -47,7 +47,7 @@ pub mod sync;
 pub mod time;
 pub mod topology;
 
-pub use engine::{RunReport, Sim, TaskId};
+pub use engine::{RunReport, Sim, TaskId, TimerId};
 pub use faults::{FaultAction, FaultEvent, FaultPlan, FaultTarget, GilbertElliott};
 pub use net::{ChannelParams, FaultModel, NetStats, Network, NicId, RxFrame};
 pub use time::{Dur, SimTime};

@@ -23,11 +23,10 @@
 use crate::engine::Sim;
 use crate::faults::{FaultAction, GilbertElliott};
 use crate::time::{Dur, SimTime};
-use frame::{Frame, MacAddr};
+use frame::{FastMap, Frame, MacAddr};
 use me_trace::{EventKind, FaultKind, Tracer};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// One direction of a link: bandwidth, fixed latency, bounded queue.
@@ -116,8 +115,12 @@ struct ChannelState {
     params: ChannelParams,
     to: Endpoint,
     busy_until: SimTime,
-    /// Frames submitted whose serialization has not yet started.
-    pending: usize,
+    /// Serialization start times of frames still queued ahead of the wire,
+    /// oldest first. A frame stops occupying the queue once its
+    /// serialization has started, so the live queue depth is the number of
+    /// entries with `start > now` — entries at the front expire lazily on
+    /// the next submission instead of costing a simulation event each.
+    queued_starts: std::collections::VecDeque<SimTime>,
     tx_frames: u64,
     tx_bytes: u64,
     drop_overflow: u64,
@@ -136,7 +139,7 @@ struct ChannelState {
 
 struct SwitchState {
     forward_delay: Dur,
-    table: HashMap<MacAddr, ChannelId>,
+    table: FastMap<MacAddr, ChannelId>,
     drop_unknown: u64,
 }
 
@@ -192,6 +195,50 @@ pub struct Network {
     inner: Rc<RefCell<NetInner>>,
 }
 
+/// Draw a frame's latency jitter in `[0, j)` from the simulator's RNG.
+/// Consumes exactly one draw whenever `j > 0`, regardless of the frame's
+/// fate, so the jitter stream stays aligned across configurations.
+fn draw_jitter(sim: &Sim, j: Dur) -> Dur {
+    if j == Dur::ZERO {
+        Dur::ZERO
+    } else {
+        Dur(sim.with_rng(|r| r.gen_range(0..j.as_nanos())))
+    }
+}
+
+/// Decide loss/corruption for one channel traversal: stationary model
+/// composed with the channel's burst process (if any), all drawn from the
+/// dedicated fault RNG.
+fn decide_channel_fault(
+    c: &mut ChannelState,
+    stationary: FaultModel,
+    rng: &mut SmallRng,
+) -> (bool, bool) {
+    let mut loss_p = stationary.loss_rate;
+    let mut corrupt_p = stationary.corrupt_rate;
+    if let Some(ge) = c.burst {
+        let flip_p = if c.ge_bad {
+            ge.p_bad_to_good
+        } else {
+            ge.p_good_to_bad
+        };
+        if flip_p > 0.0 && rng.gen::<f64>() < flip_p {
+            c.ge_bad = !c.ge_bad;
+        }
+        let (gl, gc) = if c.ge_bad {
+            (ge.loss_bad, ge.corrupt_bad)
+        } else {
+            (ge.loss_good, ge.corrupt_good)
+        };
+        // Independent composition: survive both processes or be hit.
+        loss_p = 1.0 - (1.0 - loss_p) * (1.0 - gl);
+        corrupt_p = 1.0 - (1.0 - corrupt_p) * (1.0 - gc);
+    }
+    let lost = loss_p > 0.0 && rng.gen::<f64>() < loss_p;
+    let corrupted = !lost && corrupt_p > 0.0 && rng.gen::<f64>() < corrupt_p;
+    (lost, corrupted)
+}
+
 impl Network {
     /// Empty network attached to `sim`, with the default fault seed.
     pub fn new(sim: &Sim, fault: FaultModel) -> Self {
@@ -231,7 +278,7 @@ impl Network {
         let mut inner = self.inner.borrow_mut();
         inner.switches.push(SwitchState {
             forward_delay,
-            table: HashMap::new(),
+            table: FastMap::default(),
             drop_unknown: 0,
         });
         SwitchId(inner.switches.len() - 1)
@@ -271,7 +318,7 @@ impl Network {
             params: up_params,
             to: Endpoint::Switch(switch),
             busy_until: SimTime::ZERO,
-            pending: 0,
+            queued_starts: std::collections::VecDeque::new(),
             tx_frames: 0,
             tx_bytes: 0,
             drop_overflow: 0,
@@ -288,7 +335,7 @@ impl Network {
             params,
             to: Endpoint::Nic(nic),
             busy_until: SimTime::ZERO,
-            pending: 0,
+            queued_starts: std::collections::VecDeque::new(),
             tx_frames: 0,
             tx_bytes: 0,
             drop_overflow: 0,
@@ -341,11 +388,16 @@ impl Network {
     fn channel_transmit(&self, ch: ChannelId, f: Frame, completion_nic: Option<NicId>) -> bool {
         let now = self.sim.now();
         let wire_len = f.wire_len();
-        let jitter = self.draw_jitter(ch);
-        let (start, end, arrival, to) = {
+        let (end, arrival, to) = {
             let mut inner = self.inner.borrow_mut();
-            let tracer = inner.tracer.clone();
-            let c = &mut inner.channels[ch.0];
+            let NetInner {
+                channels, tracer, ..
+            } = &mut *inner;
+            let c = &mut channels[ch.0];
+            // The jitter draw is unconditional and happens first, so the
+            // jitter-RNG stream consumes one value per submission no matter
+            // the outcome — dropping a frame must not shift later draws.
+            let jitter = draw_jitter(&self.sim, c.params.jitter);
             if !c.link_up {
                 c.drop_link_down += 1;
                 tracer.emit(
@@ -356,7 +408,11 @@ impl Network {
                 );
                 return false;
             }
-            if c.pending >= c.params.queue_cap {
+            // Lazily expire queue entries whose serialization has started.
+            while c.queued_starts.front().is_some_and(|&s| s <= now) {
+                c.queued_starts.pop_front();
+            }
+            if c.queued_starts.len() >= c.params.queue_cap {
                 c.drop_overflow += 1;
                 tracer.emit(
                     now.as_nanos(),
@@ -369,9 +425,8 @@ impl Network {
             let start = now.max(c.busy_until);
             let end = start + Dur::for_bytes(wire_len, c.params.bytes_per_sec);
             c.busy_until = end;
-            let queued = start > now;
-            if queued {
-                c.pending += 1;
+            if start > now {
+                c.queued_starts.push_back(start);
             }
             c.tx_frames += 1;
             c.tx_bytes += wire_len as u64;
@@ -380,15 +435,8 @@ impl Network {
             arrival = arrival.max(c.last_arrival);
             c.last_arrival = arrival;
             tracer.wire_time(f.src.rail as u32, arrival.since(now).as_nanos());
-            (if queued { Some(start) } else { None }, end, arrival, c.to)
+            (end, arrival, c.to)
         };
-        // Serialization starts: the frame leaves the queue.
-        if let Some(start) = start {
-            let this = self.clone();
-            self.sim.schedule_at(start, move |_| {
-                this.inner.borrow_mut().channels[ch.0].pending -= 1;
-            });
-        }
         // Transmit completion back to the sending NIC (DMA buffer free).
         if let Some(nic) = completion_nic {
             let this = self.clone();
@@ -407,71 +455,80 @@ impl Network {
         true
     }
 
-    /// Draw this frame's latency jitter for channel `ch`.
-    fn draw_jitter(&self, ch: ChannelId) -> Dur {
-        let j = self.inner.borrow().channels[ch.0].params.jitter;
-        if j == Dur::ZERO {
-            Dur::ZERO
-        } else {
-            Dur(self.sim.with_rng(|r| r.gen_range(0..j.as_nanos())))
-        }
-    }
-
     fn arrive(&self, sim: &Sim, ch: ChannelId, to: Endpoint, f: Frame) {
-        // A frame still in flight when its link went down is lost with it.
-        {
+        // One borrow covers the in-flight link check, the fault decision and
+        // the switch lookup; only the scheduling happens outside it.
+        enum Action {
+            Done,
+            Forward(ChannelId, Dur, bool),
+            Deliver(NicId, bool),
+        }
+        let action = {
             let mut inner = self.inner.borrow_mut();
-            if !inner.channels[ch.0].link_up {
-                inner.channels[ch.0].drop_link_down += 1;
-                inner.tracer.emit(
+            let NetInner {
+                channels,
+                switches,
+                fault,
+                fault_rng,
+                tracer,
+                ..
+            } = &mut *inner;
+            let c = &mut channels[ch.0];
+            // A frame still in flight when its link went down is lost with it.
+            if !c.link_up {
+                c.drop_link_down += 1;
+                tracer.emit(
                     sim.now().as_nanos(),
                     Some(f.header.conn),
                     Some(f.src.rail as u32),
                     EventKind::FrameDrop,
                 );
-                return;
-            }
-        }
-        let (lost, corrupted) = self.decide_channel_fault(ch);
-        if lost {
-            let mut inner = self.inner.borrow_mut();
-            inner.channels[ch.0].drop_loss += 1;
-            inner.tracer.emit(
-                sim.now().as_nanos(),
-                Some(f.header.conn),
-                Some(f.src.rail as u32),
-                EventKind::FrameDrop,
-            );
-            return;
-        }
-        if corrupted {
-            let mut inner = self.inner.borrow_mut();
-            inner.channels[ch.0].corrupted += 1;
-            inner.tracer.emit(
-                sim.now().as_nanos(),
-                Some(f.header.conn),
-                Some(f.src.rail as u32),
-                EventKind::FrameCorrupt,
-            );
-        }
-        match to {
-            Endpoint::Switch(sw) => {
-                // A corrupted frame is forwarded anyway (our switches do not
-                // verify FCS, like cheap store-and-forward hardware); the
-                // end host's checksum catches it.
-                let (out, delay) = {
-                    let mut inner = self.inner.borrow_mut();
-                    let s = &mut inner.switches[sw.0];
-                    match s.table.get(&f.dst) {
-                        Some(&out) => (out, s.forward_delay),
-                        None => {
-                            s.drop_unknown += 1;
-                            return;
-                        }
+                Action::Done
+            } else {
+                let (lost, corrupted) = decide_channel_fault(c, *fault, fault_rng);
+                if lost {
+                    c.drop_loss += 1;
+                    tracer.emit(
+                        sim.now().as_nanos(),
+                        Some(f.header.conn),
+                        Some(f.src.rail as u32),
+                        EventKind::FrameDrop,
+                    );
+                    Action::Done
+                } else {
+                    if corrupted {
+                        c.corrupted += 1;
+                        tracer.emit(
+                            sim.now().as_nanos(),
+                            Some(f.header.conn),
+                            Some(f.src.rail as u32),
+                            EventKind::FrameCorrupt,
+                        );
                     }
-                };
+                    match to {
+                        Endpoint::Switch(sw) => {
+                            // A corrupted frame is forwarded anyway (our
+                            // switches do not verify FCS, like cheap
+                            // store-and-forward hardware); the end host's
+                            // checksum catches it.
+                            let s = &mut switches[sw.0];
+                            match s.table.get(&f.dst) {
+                                Some(&out) => Action::Forward(out, s.forward_delay, corrupted),
+                                None => {
+                                    s.drop_unknown += 1;
+                                    Action::Done
+                                }
+                            }
+                        }
+                        Endpoint::Nic(nic) => Action::Deliver(nic, corrupted),
+                    }
+                }
+            }
+        };
+        match action {
+            Action::Done => {}
+            Action::Forward(out, delay, carry_corrupt) => {
                 let this = self.clone();
-                let carry_corrupt = corrupted;
                 sim.schedule_in(delay, move |_| {
                     // Corruption already counted; re-transmit the (possibly
                     // damaged) frame unchanged. The corruption marker is
@@ -484,62 +541,28 @@ impl Network {
                     }
                 });
             }
-            Endpoint::Nic(nic) => {
-                self.deliver_to_nic(sim, nic, f, corrupted);
-            }
+            Action::Deliver(nic, corrupted) => self.deliver_to_nic(sim, nic, f, corrupted),
         }
-    }
-
-    /// Decide loss/corruption for one channel traversal: stationary model
-    /// composed with the channel's burst process (if any), all drawn from
-    /// the dedicated fault RNG.
-    fn decide_channel_fault(&self, ch: ChannelId) -> (bool, bool) {
-        let mut inner = self.inner.borrow_mut();
-        let stationary = inner.fault;
-        let inner = &mut *inner;
-        let c = &mut inner.channels[ch.0];
-        let rng = &mut inner.fault_rng;
-        let mut loss_p = stationary.loss_rate;
-        let mut corrupt_p = stationary.corrupt_rate;
-        if let Some(ge) = c.burst {
-            let flip_p = if c.ge_bad {
-                ge.p_bad_to_good
-            } else {
-                ge.p_good_to_bad
-            };
-            if flip_p > 0.0 && rng.gen::<f64>() < flip_p {
-                c.ge_bad = !c.ge_bad;
-            }
-            let (gl, gc) = if c.ge_bad {
-                (ge.loss_bad, ge.corrupt_bad)
-            } else {
-                (ge.loss_good, ge.corrupt_good)
-            };
-            // Independent composition: survive both processes or be hit.
-            loss_p = 1.0 - (1.0 - loss_p) * (1.0 - gl);
-            corrupt_p = 1.0 - (1.0 - corrupt_p) * (1.0 - gc);
-        }
-        let lost = loss_p > 0.0 && rng.gen::<f64>() < loss_p;
-        let corrupted = !lost && corrupt_p > 0.0 && rng.gen::<f64>() < corrupt_p;
-        (lost, corrupted)
     }
 
     /// Hand a frame to `nic`'s receive handler, honoring any active receive
     /// stall: frames arriving while stalled are re-scheduled to the stall's
     /// end, preserving arrival order (the event heap is FIFO per timestamp).
     fn deliver_to_nic(&self, sim: &Sim, nic: NicId, f: Frame, corrupted: bool) {
-        let stall_until = self.inner.borrow().nics[nic.0].stall_until;
-        if sim.now() < stall_until {
-            let this = self.clone();
-            sim.schedule_at(stall_until, move |sim| {
-                this.deliver_to_nic(sim, nic, f, corrupted);
-            });
-            return;
-        }
         let handler = {
             let mut inner = self.inner.borrow_mut();
-            inner.nics[nic.0].rx_frames += 1;
-            inner.nics[nic.0].rx_handler.clone()
+            let n = &mut inner.nics[nic.0];
+            if sim.now() < n.stall_until {
+                let stall_until = n.stall_until;
+                drop(inner);
+                let this = self.clone();
+                sim.schedule_at(stall_until, move |sim| {
+                    this.deliver_to_nic(sim, nic, f, corrupted);
+                });
+                return;
+            }
+            n.rx_frames += 1;
+            n.rx_handler.clone()
         };
         if let Some(h) = handler {
             h(sim, RxFrame { frame: f, corrupted });
@@ -609,11 +632,13 @@ impl Network {
     fn channel_transmit_corrupt(&self, ch: ChannelId, f: Frame) {
         let now = self.sim.now();
         let wire_len = f.wire_len();
-        let jitter = self.draw_jitter(ch);
-        let (start, arrival, to) = {
+        let (arrival, to) = {
             let mut inner = self.inner.borrow_mut();
-            let tracer = inner.tracer.clone();
-            let c = &mut inner.channels[ch.0];
+            let NetInner {
+                channels, tracer, ..
+            } = &mut *inner;
+            let c = &mut channels[ch.0];
+            let jitter = draw_jitter(&self.sim, c.params.jitter);
             if !c.link_up {
                 c.drop_link_down += 1;
                 tracer.emit(
@@ -624,7 +649,10 @@ impl Network {
                 );
                 return;
             }
-            if c.pending >= c.params.queue_cap {
+            while c.queued_starts.front().is_some_and(|&s| s <= now) {
+                c.queued_starts.pop_front();
+            }
+            if c.queued_starts.len() >= c.params.queue_cap {
                 c.drop_overflow += 1;
                 tracer.emit(
                     now.as_nanos(),
@@ -637,9 +665,8 @@ impl Network {
             let start = now.max(c.busy_until);
             let end = start + Dur::for_bytes(wire_len, c.params.bytes_per_sec);
             c.busy_until = end;
-            let queued = start > now;
-            if queued {
-                c.pending += 1;
+            if start > now {
+                c.queued_starts.push_back(start);
             }
             c.tx_frames += 1;
             c.tx_bytes += wire_len as u64;
@@ -647,14 +674,8 @@ impl Network {
             arrival = arrival.max(c.last_arrival);
             c.last_arrival = arrival;
             tracer.wire_time(f.src.rail as u32, arrival.since(now).as_nanos());
-            (if queued { Some(start) } else { None }, arrival, c.to)
+            (arrival, c.to)
         };
-        if let Some(start) = start {
-            let this = self.clone();
-            self.sim.schedule_at(start, move |_| {
-                this.inner.borrow_mut().channels[ch.0].pending -= 1;
-            });
-        }
         let this = self.clone();
         self.sim.schedule_at(arrival, move |sim| {
             {

@@ -213,3 +213,200 @@ proptest! {
         prop_assert_eq!(back, v);
     }
 }
+
+/// One step of the random tx-window workload driven against both the ring
+/// and the naive map reference in `tx_ring_matches_map_reference`.
+#[derive(Debug, Clone, Copy)]
+enum TxOp {
+    /// Send the next frame if the window allows.
+    Send,
+    /// Advance the cumulative ack by the given number of frames.
+    Ack(u8),
+    /// Mark the in-flight frame at this window offset retransmitted (a NACK
+    /// handler resending it on a new rail).
+    Retransmit(u8, u8),
+    /// Look up the frame at this window offset (may be stale/missing).
+    Query(u8),
+}
+
+fn arb_tx_op() -> impl Strategy<Value = TxOp> {
+    // The vendored prop_oneof has no weight syntax; repeat arms to bias
+    // toward sends so windows actually fill.
+    prop_oneof![
+        Just(TxOp::Send),
+        Just(TxOp::Send),
+        Just(TxOp::Send),
+        Just(TxOp::Send),
+        (1u8..16).prop_map(TxOp::Ack),
+        (any::<u8>(), 0u8..4).prop_map(|(k, r)| TxOp::Retransmit(k, r)),
+        any::<u8>().prop_map(TxOp::Query),
+    ]
+}
+
+proptest! {
+    /// The ring-based sender state (`multiedge::ring::TxRing`) behaves
+    /// exactly like a naive seq-keyed map through random send / ack /
+    /// retransmit sequences — including windows that straddle the 32-bit
+    /// wire wrap, where every in-flight sequence must still round-trip
+    /// through its truncated wire form.
+    #[test]
+    fn tx_ring_matches_map_reference(
+        // Bias half the cases onto the 2^32 wire-wrap boundary.
+        base in prop_oneof![
+            0u64..1024,
+            ((1u64 << 32) - 512)..((1u64 << 32) + 512),
+        ],
+        ops in proptest::collection::vec(arb_tx_op(), 1..400),
+    ) {
+        use multiedge::ring::{TxRing, TxSlot};
+        use std::collections::HashMap;
+
+        const WINDOW: usize = 32;
+        let mut ring = TxRing::with_window(WINDOW);
+        // Reference model: plain map from seq to (rail, retransmitted).
+        let mut model: HashMap<u64, (usize, bool)> = HashMap::new();
+
+        let mut acked = base;
+        let mut next_seq = base;
+        for op in ops {
+            match op {
+                TxOp::Send => {
+                    if (next_seq - acked) < WINDOW as u64 {
+                        ring.insert(TxSlot {
+                            seq: next_seq,
+                            rail: 0,
+                            sent_at: netsim::SimTime::ZERO,
+                            retransmitted: false,
+                            frame: Frame {
+                                src: MacAddr::new(0, 0),
+                                dst: MacAddr::new(1, 0),
+                                header: FrameHeader {
+                                    seq: to_wire(next_seq),
+                                    ..FrameHeader::default()
+                                },
+                                payload: bytes::Bytes::new(),
+                            },
+                        });
+                        model.insert(next_seq, (0, false));
+                        next_seq += 1;
+                    }
+                }
+                TxOp::Ack(n) => {
+                    let new_acked = (acked + n as u64).min(next_seq);
+                    while acked < new_acked {
+                        let from_ring = ring.remove(acked).map(|s| (s.rail, s.retransmitted));
+                        let from_model = model.remove(&acked);
+                        prop_assert_eq!(from_ring, from_model, "ack removal at {}", acked);
+                        acked += 1;
+                    }
+                }
+                TxOp::Retransmit(k, rail) => {
+                    let seq = acked + (k as u64 % WINDOW as u64);
+                    let rail = rail as usize;
+                    if let Some(s) = ring.get_mut(seq) {
+                        s.retransmitted = true;
+                        s.rail = rail;
+                    }
+                    if let Some(m) = model.get_mut(&seq) {
+                        m.1 = true;
+                        m.0 = rail;
+                    }
+                }
+                TxOp::Query(k) => {
+                    // Offset past the window probes stale / never-sent seqs.
+                    let seq = (acked + k as u64).max(base);
+                    prop_assert_eq!(
+                        ring.get(seq).map(|s| (s.rail, s.retransmitted)),
+                        model.get(&seq).copied(),
+                        "lookup at {}", seq
+                    );
+                }
+            }
+        }
+
+        prop_assert_eq!(ring.len(), model.len());
+        for seq in acked..next_seq {
+            prop_assert_eq!(
+                ring.get(seq).map(|s| (s.rail, s.retransmitted)),
+                model.get(&seq).copied(),
+                "final state at {}", seq
+            );
+            // The wrap-sensitive part: the retained frame's 32-bit wire seq
+            // must reconstruct to the full sequence relative to the ack.
+            let s = ring.get(seq).expect("in flight");
+            prop_assert_eq!(from_wire(acked, s.frame.header.seq), seq);
+        }
+    }
+
+    /// The ring-based receiver gap state (`multiedge::ring::GapRing`)
+    /// matches a naive map reference through random out-of-order delivery:
+    /// same entries, same first-seen/last-NACK state, same live size —
+    /// which stays window-bounded — across wire wrap.
+    #[test]
+    fn gap_ring_matches_map_reference(
+        base in prop_oneof![
+            0u64..1024,
+            ((1u64 << 32) - 512)..((1u64 << 32) + 512),
+        ],
+        // Each step delivers the frame at `offset` into the receive window,
+        // then runs a NACK tick every few steps.
+        offsets in proptest::collection::vec(0u8..32, 1..300),
+    ) {
+        use multiedge::ring::GapRing;
+        use std::collections::HashMap;
+
+        const WINDOW: usize = 32;
+        let mut seqs = SeqTracker::with_window(WINDOW);
+        let mut ring = GapRing::with_window(WINDOW);
+        // Reference model: gap start -> (first_seen, last_nack).
+        let mut model: HashMap<u64, (netsim::SimTime, Option<netsim::SimTime>)> =
+            HashMap::new();
+        // SeqTracker counts from 0; shift by `base` when exercising the
+        // wire round-trip below.
+        let mut scratch = Vec::new();
+        let mut now = netsim::SimTime::ZERO;
+
+        for (step, off) in offsets.into_iter().enumerate() {
+            now += netsim::time::us(1);
+            let seq = seqs.cumulative() + off as u64;
+            // Wire round-trip sanity at the wrap: the shifted sequence
+            // survives truncation relative to the shifted cumulative.
+            prop_assert_eq!(
+                from_wire(base + seqs.cumulative(), to_wire(base + seq)),
+                base + seq
+            );
+            match seqs.admit(seq) {
+                Admit::New { .. } => {}
+                Admit::Duplicate => continue,
+            }
+            if step % 3 == 0 {
+                // NACK tick: record every currently-missing gap start, then
+                // purge what the cumulative ack has passed.
+                seqs.missing_ranges_into(&mut scratch);
+                for &(start, _) in &scratch {
+                    let e = ring.entry(start, now);
+                    let m = model.entry(start).or_insert((now, None));
+                    prop_assert_eq!(e.first_seen, m.0, "first_seen at {}", start);
+                    prop_assert_eq!(e.last_nack, m.1, "last_nack at {}", start);
+                    e.last_nack = Some(now);
+                    m.1 = Some(now);
+                }
+                let cum = seqs.cumulative();
+                ring.purge_below(cum);
+                model.retain(|&s, _| s >= cum);
+                prop_assert_eq!(ring.len(), model.len(), "live gaps after purge");
+                prop_assert!(ring.len() <= WINDOW, "gap state exceeds window");
+            }
+        }
+
+        let cum = seqs.cumulative();
+        ring.purge_below(cum);
+        model.retain(|&s, _| s >= cum);
+        prop_assert_eq!(ring.len(), model.len());
+        for (&s, &(first, last)) in &model {
+            let g = ring.get(s).expect("model entry live in ring");
+            prop_assert_eq!(g.first_seen, first);
+            prop_assert_eq!(g.last_nack, last);
+        }
+    }
+}

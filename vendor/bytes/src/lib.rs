@@ -6,20 +6,38 @@
 //! reference-counted buffer that retransmission queues and in-flight frame
 //! copies can share without duplicating the payload, plus zero-copy
 //! [`Bytes::slice`] for fragmenting an operation across frames. That is
-//! exactly what this shim provides: an `Arc<[u8]>` with a window.
+//! exactly what this shim provides: an `Rc<[u8]>` with a window. The
+//! simulation is single-threaded, so a non-atomic refcount suffices (and
+//! keeps atomic RMW operations off the per-frame clone/drop path).
 
 use std::ops::{Bound, Deref, RangeBounds};
-use std::sync::Arc;
+use std::rc::Rc;
 
 /// Cheaply cloneable, immutable, contiguous slice of memory.
 ///
 /// Clones and [`slice`](Bytes::slice) share one allocation; the struct itself
-/// is just `(Arc, start, end)`.
-#[derive(Clone, Default)]
+/// is just `(Rc, start, end)`.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Rc<[u8]>,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        // `Rc<[u8]>::default()` allocates on every call (unlike `Arc`, it
+        // cannot share a static empty value across threads), so empty
+        // buffers clone one per-thread singleton instead.
+        thread_local! {
+            static EMPTY: Rc<[u8]> = Rc::from(&[][..]);
+        }
+        Bytes {
+            data: EMPTY.with(Rc::clone),
+            start: 0,
+            end: 0,
+        }
+    }
 }
 
 impl Bytes {
@@ -52,7 +70,7 @@ impl Bytes {
         assert!(begin <= end, "slice range starts after it ends");
         assert!(end <= len, "slice range out of bounds");
         Bytes {
-            data: Arc::clone(&self.data),
+            data: Rc::clone(&self.data),
             start: self.start + begin,
             end: self.start + end,
         }
