@@ -945,3 +945,35 @@ mod tests {
         sim.run().expect_quiescent();
     }
 }
+
+#[cfg(test)]
+mod review_repro {
+    use super::*;
+    use crate::time::{us, ms};
+
+    #[test]
+    fn stale_wheel_hint_after_idle_gap_keeps_order() {
+        // Wheel never touched before t=1s (heap event), so wheel_min_q
+        // stays at its initial 0 while now jumps to 1s. The far event
+        // then schedules two near events whose slot residues straddle
+        // the stale hint phase.
+        let sim = Sim::new(0);
+        let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let l = log.clone();
+        sim.schedule_at(SimTime::ZERO + ms(1000), move |sim| {
+            let (a, b) = (l.clone(), l.clone());
+            // X: 1us out -> small residue-distance in *time*, large residue.
+            sim.schedule_in(us(1), move |s| a.borrow_mut().push(s.now().as_nanos()));
+            // Y: ~73.8ms out -> later in time, but residue 0 (slot 0).
+            let q_now = s_quantum(sim.now());
+            let target_q = ((q_now / WHEEL_SLOTS) + 1) * WHEEL_SLOTS; // residue 0, within horizon
+            let delta_ns = (target_q << QUANTUM_SHIFT) - sim.now().as_nanos();
+            sim.schedule_in(Dur(delta_ns), move |s| b.borrow_mut().push(s.now().as_nanos()));
+        });
+        sim.run().expect_quiescent();
+        let v = log.borrow().clone();
+        assert!(v.windows(2).all(|w| w[0] <= w[1]), "events ran out of order: {v:?}");
+    }
+
+    fn s_quantum(t: SimTime) -> u64 { t.as_nanos() >> QUANTUM_SHIFT }
+}
