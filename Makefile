@@ -4,7 +4,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke
+.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke bench-attribution bench-attribution-smoke test-flight
 
 verify: build test doc clippy
 
@@ -47,3 +47,20 @@ bench-datapath:
 # still fails the run if the clean-network datapath allocates per frame.
 bench-datapath-smoke:
 	DATAPATH_QUICK=1 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench datapath
+
+# Critical-path latency attribution: writes results/BENCH_attribution.json
+# (per-connection / per-rail exclusive phase breakdowns of op latency) and
+# asserts every cell reconciles against the tracer and ProtoStats
+# (docs/OBSERVABILITY.md).
+bench-attribution:
+	$(CARGO) bench $(OFFLINE) -p multiedge-bench --bench attribution
+
+# CI smoke flavour: reduced sweep, same JSON and reconciliation asserts.
+bench-attribution-smoke:
+	ATTRIBUTION_SMOKE=1 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench attribution
+
+# Flight recorder end-to-end: a scripted rail outage must produce a
+# post-mortem dump artifact, and attribution must stay sound under
+# randomized mixed workloads, loss and fences.
+test-flight:
+	$(CARGO) test $(OFFLINE) -p integration-tests --test flight_recorder --test attribution_properties

@@ -20,6 +20,12 @@
 //! * `DATAPATH_QUICK=1` — CI smoke: few iterations, no JSON output, but the
 //!   allocation gate is still enforced.
 //!
+//! Both modes also run the **flight-recorder overhead gate**: the clean 1L
+//! config re-measured with the always-on [`me_trace::FlightRecorder`]
+//! enabled must keep ≥95% of the plain frames/wall-s, add no steady-state
+//! allocations per frame, and produce a bit-identical stats fingerprint
+//! (the recorder is purely observational).
+//!
 //! # Isolating per-frame allocations
 //!
 //! A run allocates for many reasons that are *not* per-frame: simulator
@@ -270,6 +276,8 @@ fn main() {
         })
         .collect();
 
+    let flight = flight_recorder_gate(iters);
+
     if quick {
         enforce_alloc_gate(&rows);
         println!("datapath smoke OK (quick mode, no JSON written)");
@@ -337,11 +345,86 @@ fn main() {
             "methodology",
             "2x2 grid (iters x payload size) double-difference isolates marginal allocations per data frame; fps from largest cell; fingerprint = fnv1a(ProtoStats|NetStats Debug)",
         )
-        .set("rows", out_rows);
+        .set("rows", out_rows)
+        .set("flight_recorder", flight);
     let path = "results/BENCH_datapath.json";
     std::fs::write(results_path("BENCH_datapath.json"), doc.render_pretty())
         .expect("write json");
     println!("wrote {path}");
+}
+
+/// Flight-recorder overhead gate: measure the clean 1L config with the
+/// always-on recorder enabled and enforce the ride-along budget — ≥95% of
+/// the plain frames/wall-s (best-of-3 each to suppress scheduler noise),
+/// zero marginal allocations per frame, and an unchanged stats fingerprint
+/// (recording must never perturb the protocol).
+fn flight_recorder_gate(iters: usize) -> Json {
+    type CfgFn = fn() -> SystemConfig;
+    let plain: CfgFn = || SystemConfig::one_link_1g(2);
+    let with_fr: CfgFn = || {
+        // Defaults: 4096-event ring, triggers armed; no dump directory so a
+        // trigger firing mid-bench costs rendering, not disk I/O.
+        SystemConfig::one_link_1g(2).with_flight(me_trace::FlightConfig::default())
+    };
+    const S: usize = 64 << 10;
+    // Wall-clock noise on shared machines dwarfs the recorder's real cost.
+    // Scheduler noise only ever *adds* wall time, so each side's minimum
+    // wall over interleaved rounds converges on its true cost: keep taking
+    // paired rounds until the ratio of minima clears the gate (or a round
+    // cap is hit, at which point a genuine regression fails the assert).
+    let gate_iters = iters.max(20);
+    let mut mp: Option<Measure> = None;
+    let mut mf: Option<Measure> = None;
+    let mut rounds = 0usize;
+    loop {
+        let m = measure(plain, S, 2 * gate_iters);
+        if mp.as_ref().is_none_or(|b| m.wall_s < b.wall_s) {
+            mp = Some(m);
+        }
+        let m = measure(with_fr, S, 2 * gate_iters);
+        if mf.as_ref().is_none_or(|b| m.wall_s < b.wall_s) {
+            mf = Some(m);
+        }
+        rounds += 1;
+        let (p, f) = (mp.as_ref().unwrap(), mf.as_ref().unwrap());
+        let ratio = (f.frames as f64 / f.wall_s) / (p.frames as f64 / p.wall_s);
+        if (rounds >= 5 && ratio >= 0.95) || rounds >= 20 {
+            break;
+        }
+    }
+    let (mp, mf) = (mp.expect("measured"), mf.expect("measured"));
+    assert_eq!(
+        mp.fingerprint, mf.fingerprint,
+        "flight recorder must be purely observational (stats fingerprint changed)"
+    );
+    let plain_fps = mp.frames as f64 / mp.wall_s;
+    let fr_fps = mf.frames as f64 / mf.wall_s;
+    let ratio = fr_fps / plain_fps;
+    // Marginal allocations with the recorder on, via the same 2x2 grid.
+    let fr_row = run_config("1L-1G+FR", with_fr, iters);
+    println!(
+        "flight   {plain_fps:>9.0} -> {fr_fps:>9.0} frames/wall-s  ratio {ratio:.3}  {:+.3} allocs/frame",
+        fr_row.allocs_per_frame
+    );
+    if std::env::var("DATAPATH_BASELINE").is_err() {
+        assert!(
+            fr_row.allocs_per_frame.abs() < 0.01,
+            "flight recorder allocates per frame on the clean path: {:.4}",
+            fr_row.allocs_per_frame
+        );
+        assert!(
+            ratio >= 0.95,
+            "flight recorder costs more than 5% frames/wall-s: ratio {ratio:.3}"
+        );
+    }
+    Json::obj()
+        .set("config", "1L-1G")
+        .set("plain_frames_per_wall_s", plain_fps)
+        .set("flight_frames_per_wall_s", fr_fps)
+        .set("fps_ratio", ratio)
+        .set("allocs_per_frame", fr_row.allocs_per_frame)
+        .set("stats_match", true)
+        .set("gate", "fps_ratio >= 0.95 && |allocs_per_frame| < 0.01")
 }
 
 /// The zero-allocation gate: on the clean (loss-free) network the steady-

@@ -58,6 +58,9 @@ pub struct MicroResult {
     /// Per-endpoint trace snapshots (one per node, node 0 first). Empty
     /// unless the config enables tracing (`SystemConfig::with_tracing`).
     pub traces: Vec<me_trace::TraceSnapshot>,
+    /// Cluster-wide op-span snapshot (the recorder is shared by all nodes).
+    /// `None` unless the config enables spans (`SystemConfig::with_spans`).
+    pub spans: Option<me_trace::SpanSnapshot>,
     /// Per-endpoint, per-connection protocol statistics (outer index: node,
     /// inner index: connection id on that node).
     pub conn_proto: Vec<Vec<multiedge::ProtoStats>>,
@@ -205,6 +208,7 @@ pub fn run_micro_with_plan(
     let cpu0 = eps[0].cpu();
     let cpu_util_pct = cpu0.utilization_of_two(elapsed) * 100.0;
     let traces = eps.iter().filter_map(|e| e.tracer().snapshot()).collect();
+    let spans = eps[0].span_recorder().snapshot();
     let conn_proto = eps
         .iter()
         .map(|e| (0..e.conn_count()).map(|c| e.conn_stats(c)).collect())
@@ -219,6 +223,7 @@ pub fn run_micro_with_plan(
         net: cluster.net.stats(),
         elapsed_s,
         traces,
+        spans,
         conn_proto,
     }
 }

@@ -182,6 +182,16 @@ pub struct SystemConfig {
     /// each [`crate::Endpoint`] record the latest that many typed protocol
     /// events plus latency histograms (see the `me-trace` crate).
     pub trace_ring: usize,
+    /// Completed-span ring capacity for causal op spans. `0` (the default)
+    /// disables the span layer; a non-zero value makes every endpoint in
+    /// the cluster stamp per-op milestones into one shared
+    /// [`me_trace::SpanRecorder`], retaining the latest that many completed
+    /// spans for critical-path attribution.
+    pub spans: usize,
+    /// Always-on flight recorder. `None` (the default) disables it; `Some`
+    /// arms a shared bounded event ring with trigger-based post-mortem
+    /// dumps (see [`me_trace::FlightConfig`]).
+    pub flight: Option<me_trace::FlightConfig>,
 }
 
 impl SystemConfig {
@@ -197,12 +207,27 @@ impl SystemConfig {
             proto: ProtoConfig::default(),
             seed: 1,
             trace_ring: 0,
+            spans: 0,
+            flight: None,
         }
     }
 
     /// Enable protocol-event tracing with a ring of `capacity` events.
     pub fn with_tracing(mut self, capacity: usize) -> Self {
         self.trace_ring = capacity;
+        self
+    }
+
+    /// Enable causal op spans, retaining the latest `capacity` completed
+    /// spans for attribution.
+    pub fn with_spans(mut self, capacity: usize) -> Self {
+        self.spans = capacity;
+        self
+    }
+
+    /// Arm the always-on flight recorder.
+    pub fn with_flight(mut self, cfg: me_trace::FlightConfig) -> Self {
+        self.flight = Some(cfg);
         self
     }
 

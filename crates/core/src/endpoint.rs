@@ -31,7 +31,9 @@ use crate::seqspace::{from_wire, to_wire};
 use crate::stats::{CpuSnapshot, ProtoStats};
 use bytes::Bytes;
 use frame::{FastMap, Frame, FrameFlags, FrameHeader, FrameKind, MacAddr, NackRanges};
-use me_trace::{EventKind, Tracer};
+use me_trace::{
+    EventKind, FlightCode, FlightRecorder, Leg, SpanKey, SpanKind, SpanRecorder, Tracer,
+};
 use netsim::cpu::CpuTimeline;
 use netsim::sync::{sleep_until, Channel};
 use netsim::time::Dur;
@@ -129,7 +131,8 @@ struct Conn {
     /// global because one interrupt batch mixes connections).
     stats: ProtoStats,
     /// Receive ops currently held back by a fence, keyed by op id →
-    /// stall start time. Populated only while tracing is enabled.
+    /// stall start time. Populated only while an observer (tracer, span
+    /// recorder, or flight recorder) is enabled.
     fence_stall_start: FastMap<u64, SimTime>,
 }
 
@@ -194,6 +197,12 @@ struct EndpointInner {
     cpu_proto: CpuTimeline,
     stats: ProtoStats,
     tracer: Tracer,
+    /// Causal op-span recorder (disabled unless `SystemConfig::spans` is
+    /// non-zero); shared by every endpoint in the cluster.
+    spans: SpanRecorder,
+    /// Always-on flight recorder (disabled unless `SystemConfig::flight`
+    /// is set); shared by every endpoint and the network.
+    flight: FlightRecorder,
     /// Events waiting for the moderated interrupt to fire.
     irq_pending: VecDeque<ModItem>,
     /// A moderation timer is armed.
@@ -245,6 +254,8 @@ impl Endpoint {
                 cpu_proto: CpuTimeline::new(),
                 stats: ProtoStats::default(),
                 tracer,
+                spans: SpanRecorder::disabled(),
+                flight: FlightRecorder::disabled(),
                 irq_pending: VecDeque::new(),
                 irq_armed: false,
                 irq_timer: TimerId::NONE,
@@ -263,17 +274,39 @@ impl Endpoint {
         ep
     }
 
-    /// Build one endpoint per cluster node.
+    /// Build one endpoint per cluster node. When `cfg.spans` or
+    /// `cfg.flight` is set, one shared [`SpanRecorder`] / [`FlightRecorder`]
+    /// is created for the whole cluster (spans cross nodes, so the recorder
+    /// must too), the network is wired into the flight recorder, and the
+    /// flight recorder embeds span attributions in its dumps.
     pub fn for_cluster(
         sim: &Sim,
         cluster: &netsim::Cluster,
         cfg: Rc<SystemConfig>,
     ) -> Vec<Endpoint> {
+        let spans = if cfg.spans > 0 {
+            SpanRecorder::enabled(cfg.spans)
+        } else {
+            SpanRecorder::disabled()
+        };
+        let flight = match &cfg.flight {
+            Some(fc) => FlightRecorder::enabled(fc.clone()),
+            None => FlightRecorder::disabled(),
+        };
+        if flight.is_enabled() {
+            flight.set_span_source(&spans);
+            cluster.net.set_flight_recorder(flight.clone());
+        }
         cluster
             .nics
             .iter()
             .enumerate()
-            .map(|(node, nics)| Endpoint::new(sim, &cluster.net, node, nics.clone(), cfg.clone()))
+            .map(|(node, nics)| {
+                let ep = Endpoint::new(sim, &cluster.net, node, nics.clone(), cfg.clone());
+                ep.set_span_recorder(spans.clone());
+                ep.set_flight_recorder(flight.clone());
+                ep
+            })
             .collect()
     }
 
@@ -376,6 +409,7 @@ impl Endpoint {
     ) -> OpHandle {
         let len = data.len();
         let handle = OpHandle::new(&self.sim, OpKind::Write, len);
+        let created_ns = self.sim.now().as_nanos();
         let end = {
             let mut inner = self.inner.borrow_mut();
             let cm = inner.cfg.cost.clone();
@@ -395,7 +429,7 @@ impl Endpoint {
         let ep = self.clone();
         let h = handle.clone();
         self.sim.schedule_at(end, move |_| {
-            ep.issue_write(conn, remote_addr, Bytes::from(data), flags, h);
+            ep.issue_write(conn, remote_addr, Bytes::from(data), flags, h, created_ns);
         });
         sleep_until(&self.sim, end).await;
         handle
@@ -414,6 +448,7 @@ impl Endpoint {
     ) -> OpHandle {
         assert!(len > 0, "zero-length remote read");
         let handle = OpHandle::new(&self.sim, OpKind::Read, len);
+        let created_ns = self.sim.now().as_nanos();
         let end = {
             let mut inner = self.inner.borrow_mut();
             let cm = inner.cfg.cost.clone();
@@ -428,7 +463,7 @@ impl Endpoint {
         let ep = self.clone();
         let h = handle.clone();
         self.sim.schedule_at(end, move |_| {
-            ep.issue_read(conn, local_addr, remote_addr, len, flags, h);
+            ep.issue_read(conn, local_addr, remote_addr, len, flags, h, created_ns);
         });
         sleep_until(&self.sim, end).await;
         handle
@@ -505,6 +540,30 @@ impl Endpoint {
         self.inner.borrow().tracer.clone()
     }
 
+    /// This endpoint's span recorder (disabled unless
+    /// [`SystemConfig::spans`](crate::SystemConfig) is non-zero).
+    /// [`Endpoint::for_cluster`] shares one recorder across the cluster so a
+    /// span's sender- and receiver-side milestones land in the same record.
+    pub fn span_recorder(&self) -> SpanRecorder {
+        self.inner.borrow().spans.clone()
+    }
+
+    /// Install a (shared) span recorder on this endpoint.
+    pub fn set_span_recorder(&self, spans: SpanRecorder) {
+        self.inner.borrow_mut().spans = spans;
+    }
+
+    /// This endpoint's flight recorder (disabled unless
+    /// [`SystemConfig::flight`](crate::SystemConfig) is set).
+    pub fn flight_recorder(&self) -> FlightRecorder {
+        self.inner.borrow().flight.clone()
+    }
+
+    /// Install a (shared) flight recorder on this endpoint.
+    pub fn set_flight_recorder(&self, flight: FlightRecorder) {
+        self.inner.borrow_mut().flight = flight;
+    }
+
     /// Snapshot of CPU busy time.
     pub fn cpu(&self) -> CpuSnapshot {
         let inner = self.inner.borrow();
@@ -531,6 +590,7 @@ impl Endpoint {
         data: Bytes,
         flags: OpFlags,
         handle: OpHandle,
+        created_ns: u64,
     ) {
         let sends = {
             let mut inner = self.inner.borrow_mut();
@@ -601,12 +661,30 @@ impl Endpoint {
                 None,
                 EventKind::OpIssue { op: op_id },
             );
+            inner.spans.op_issued(
+                SpanKey::new(node, conn, to_wire(op_id)),
+                SpanKind::Write,
+                created_ns,
+                self.sim.now().as_nanos(),
+                nfrags as u32,
+                total as u64,
+            );
+            inner.flight.note(
+                FlightCode::OpIssue,
+                node,
+                Some(conn),
+                None,
+                u64::from(to_wire(op_id)),
+                total as u64,
+                self.sim.now().as_nanos(),
+            );
             inner.pump_send(conn, &self.net, &self.sim, false)
         };
         self.dispatch(sends);
         self.ensure_rto(conn);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn issue_read(
         &self,
         conn: usize,
@@ -615,6 +693,7 @@ impl Endpoint {
         len: usize,
         flags: OpFlags,
         handle: OpHandle,
+        created_ns: u64,
     ) {
         let sends = {
             let mut inner = self.inner.borrow_mut();
@@ -670,6 +749,23 @@ impl Endpoint {
                 None,
                 EventKind::OpIssue { op: op_id },
             );
+            inner.spans.op_issued(
+                SpanKey::new(node, conn, to_wire(op_id)),
+                SpanKind::Read,
+                created_ns,
+                self.sim.now().as_nanos(),
+                1,
+                len as u64,
+            );
+            inner.flight.note(
+                FlightCode::OpIssue,
+                node,
+                Some(conn),
+                None,
+                u64::from(to_wire(op_id)),
+                len as u64,
+                self.sim.now().as_nanos(),
+            );
             inner.pump_send(conn, &self.net, &self.sim, false)
         };
         self.dispatch(sends);
@@ -711,6 +807,13 @@ impl Endpoint {
     fn on_rx(&self, rx: RxFrame) {
         let now = self.sim.now();
         let mut inner = self.inner.borrow_mut();
+        // Physical arrival at the NIC: stamped before the poll/moderate
+        // decision so interrupt-moderation delay shows up as RxProcess time
+        // in the attribution. Corrupted frames carry untrustworthy headers
+        // and are never admitted, so they are not stamped.
+        if !rx.corrupted && inner.spans.is_enabled() {
+            inner.span_arrival(&rx.frame, now.as_nanos());
+        }
         if inner.cpu_proto.available_at() > now {
             // Protocol thread active: polled, no interrupt.
             inner.stats.rx_coalesced += 1;
@@ -872,7 +975,7 @@ impl Endpoint {
             }
         }
         // 1. Piggybacked cumulative ack (every frame carries one).
-        self.process_ack(conn, f.header.ack, now);
+        self.process_ack(conn, f.header.ack, f.dst.rail as u32, now);
         match f.header.kind {
             FrameKind::Ack => {
                 let mut inner = self.inner.borrow_mut();
@@ -897,8 +1000,9 @@ impl Endpoint {
     }
 
     /// Advance the send window on a cumulative ack; complete write ops and
-    /// transmit window-released frames.
-    fn process_ack(&self, conn: usize, wire_ack: u32, now: SimTime) {
+    /// transmit window-released frames. `rail` is the rail that delivered
+    /// the frame carrying the ack (for event attribution).
+    fn process_ack(&self, conn: usize, wire_ack: u32, rail: u32, now: SimTime) {
         let (sends, completed) = {
             let mut inner = self.inner.borrow_mut();
             let c = &mut inner.conns[conn];
@@ -948,9 +1052,17 @@ impl Endpoint {
             inner.tracer.emit(
                 now.as_nanos(),
                 Some(conn as u32),
-                None,
+                Some(rail),
                 EventKind::AckPiggyback { ack },
             );
+            if inner.spans.is_enabled() {
+                let node = inner.node;
+                for (op, _) in &completed {
+                    inner
+                        .spans
+                        .ack_rx(SpanKey::new(node, conn, to_wire(*op)), now.as_nanos());
+                }
+            }
             for ev in rail_events {
                 let RailEvent::Readmitted(rail) = ev else {
                     continue;
@@ -969,17 +1081,35 @@ impl Endpoint {
         };
         self.dispatch(sends);
         if !completed.is_empty() {
-            let (wake, tracer) = {
+            let (wake, tracer, spans, flight, node) = {
                 let mut inner = self.inner.borrow_mut();
                 let wake = inner.cfg.cost.app_wake;
                 inner.cpu_app.account(wake * completed.len() as u64);
-                (wake, inner.tracer.clone())
+                (
+                    wake,
+                    inner.tracer.clone(),
+                    inner.spans.clone(),
+                    inner.flight.clone(),
+                    inner.node,
+                )
             };
             let at = now + wake;
             for (op, h) in completed {
                 let tracer = tracer.clone();
+                let spans = spans.clone();
+                let flight = flight.clone();
                 self.sim.schedule_at(at, move |sim| {
                     h.complete(sim.now());
+                    spans.op_completed(SpanKey::new(node, conn, to_wire(op)), sim.now().as_nanos());
+                    flight.note(
+                        FlightCode::OpComplete,
+                        node,
+                        Some(conn),
+                        None,
+                        u64::from(to_wire(op)),
+                        h.latency().map_or(0, |l| l.as_nanos()),
+                        sim.now().as_nanos(),
+                    );
                     if tracer.is_enabled() {
                         if let Some(lat) = h.latency() {
                             tracer.op_latency(conn as u32, lat.as_nanos());
@@ -1050,6 +1180,10 @@ impl Endpoint {
                     Some(rail as u32),
                     EventKind::RailDown { rail: rail as u32 },
                 );
+                let node = inner.node;
+                inner
+                    .flight
+                    .rail_death(node, Some(conn), rail as u32, now.as_nanos());
             }
             let n = to_resend.len() as u64;
             inner.stats.retransmits_nack += n;
@@ -1057,7 +1191,7 @@ impl Endpoint {
             inner.tracer.emit(
                 now.as_nanos(),
                 Some(conn as u32),
-                None,
+                Some(f.dst.rail as u32),
                 EventKind::NackRecv {
                     gaps: ranges.ranges.len() as u32,
                 },
@@ -1091,6 +1225,7 @@ impl Endpoint {
             let ack_every = inner.cfg.proto.ack_every;
             let peer = inner.conns[conn].peer_node;
             let traced = inner.tracer.is_enabled();
+            let observed = traced || inner.spans.is_enabled() || inner.flight.is_enabled();
             let (admit, seq) = {
                 let c = &mut inner.conns[conn];
                 let seq = from_wire(c.seqs.cumulative(), f.header.seq);
@@ -1122,6 +1257,21 @@ impl Endpoint {
                         Some(f.dst.rail as u32),
                         EventKind::FrameRecv { seq, in_order },
                     );
+                    inner.flight.note(
+                        FlightCode::FrameRecv,
+                        inner.node,
+                        Some(conn),
+                        Some(f.dst.rail as u32),
+                        seq,
+                        u64::from(in_order),
+                        now.as_nanos(),
+                    );
+                    if inner.spans.is_enabled() {
+                        inner.span_admit(conn, &f, seq, now.as_nanos());
+                        let cum = inner.conns[conn].seqs.cumulative();
+                        let node = inner.node;
+                        inner.spans.cum_advanced(node, conn, cum, now.as_nanos());
+                    }
                 }
             }
             if !duplicate {
@@ -1166,7 +1316,7 @@ impl Endpoint {
                     c.order.offer_into(meta, payload, &mut release);
                     // The fragment was held back iff the buffer count grew.
                     let stalled_op = if c.order.buffered() > buffered_before {
-                        if traced {
+                        if observed {
                             c.fence_stall_start.entry(op_id).or_insert(now);
                         }
                         Some(op_id)
@@ -1175,14 +1325,16 @@ impl Endpoint {
                     };
                     (release, stalled_op)
                 };
-                if traced {
-                    if let Some(op) = stalled_op {
-                        inner.tracer.emit(
-                            now.as_nanos(),
-                            Some(conn as u32),
-                            None,
-                            EventKind::FenceStall { op },
-                        );
+                if observed {
+                    if traced {
+                        if let Some(op) = stalled_op {
+                            inner.tracer.emit(
+                                now.as_nanos(),
+                                Some(conn as u32),
+                                None,
+                                EventKind::FenceStall { op },
+                            );
+                        }
                     }
                     let released: Vec<(u64, u64)> = {
                         let c = &mut inner.conns[conn];
@@ -1197,13 +1349,51 @@ impl Endpoint {
                             .collect()
                     };
                     for (op, stalled_ns) in released {
-                        inner.tracer.emit(
+                        if traced {
+                            inner.tracer.emit(
+                                now.as_nanos(),
+                                Some(conn as u32),
+                                None,
+                                EventKind::FenceRelease { op, stalled_ns },
+                            );
+                            inner.tracer.fence_stall(conn as u32, stalled_ns);
+                        }
+                        // Attribute the stall to the right span leg: a held
+                        // write delivery is informational (acking is not
+                        // blocked), a held read request delays the serve, a
+                        // held read response delays the initiator's release.
+                        if inner.spans.is_enabled() {
+                            let c = &inner.conns[conn];
+                            if let Some(mi) = c.op_meta.get(&op) {
+                                let origin = SpanKey::new(
+                                    c.peer_node,
+                                    c.peer_conn_id as usize,
+                                    to_wire(op),
+                                );
+                                match mi.kind {
+                                    FrameKind::Data => {
+                                        inner.spans.delivered(origin, now.as_nanos(), stalled_ns);
+                                    }
+                                    FrameKind::ReadRequest => {
+                                        inner.spans.fence_req(origin, stalled_ns);
+                                    }
+                                    FrameKind::ReadResponse => {
+                                        let key =
+                                            SpanKey::new(inner.node, conn, to_wire(mi.aux));
+                                        inner.spans.fence_resp(key, stalled_ns);
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                        let node = inner.node;
+                        inner.flight.fence_release(
+                            node,
+                            conn,
+                            u64::from(to_wire(op)),
+                            stalled_ns,
                             now.as_nanos(),
-                            Some(conn as u32),
-                            None,
-                            EventKind::FenceRelease { op, stalled_ns },
                         );
-                        inner.tracer.fence_stall(conn as u32, stalled_ns);
                     }
                 }
                 // Apply released fragments to memory.
@@ -1223,6 +1413,14 @@ impl Endpoint {
                     let Some(mi) = inner.conns[conn].op_meta.remove(&op) else {
                         continue;
                     };
+                    if inner.spans.is_enabled() && mi.kind == FrameKind::Data {
+                        let c = &inner.conns[conn];
+                        inner.spans.delivered(
+                            SpanKey::new(c.peer_node, c.peer_conn_id as usize, to_wire(op)),
+                            now.as_nanos(),
+                            0,
+                        );
+                    }
                     match mi.kind {
                         FrameKind::Data if mi.notify => {
                             notif.push(Notification {
@@ -1238,6 +1436,11 @@ impl Endpoint {
                         FrameKind::ReadResponse => {
                             let read_id = mi.aux;
                             if let Some(h) = inner.conns[conn].pending_reads.remove(&read_id) {
+                                let node = inner.node;
+                                inner.spans.resp_released(
+                                    SpanKey::new(node, conn, to_wire(read_id)),
+                                    now.as_nanos(),
+                                );
                                 read_completions.push((read_id, h));
                             }
                         }
@@ -1276,12 +1479,18 @@ impl Endpoint {
         }
         // Notifications and read completions wake application tasks.
         if !notif.is_empty() || !read_completions.is_empty() {
-            let (wake, tracer) = {
+            let (wake, tracer, spans, flight, node) = {
                 let mut inner = self.inner.borrow_mut();
                 let wake = inner.cfg.cost.app_wake;
                 let n = (notif.len() + read_completions.len()) as u64;
                 inner.cpu_app.account(wake * n);
-                (wake, inner.tracer.clone())
+                (
+                    wake,
+                    inner.tracer.clone(),
+                    inner.spans.clone(),
+                    inner.flight.clone(),
+                    inner.node,
+                )
             };
             let at = now + wake;
             let notifications = self.notifications.clone();
@@ -1291,6 +1500,16 @@ impl Endpoint {
                 }
                 for (op, h) in read_completions {
                     h.complete(sim.now());
+                    spans.op_completed(SpanKey::new(node, conn, to_wire(op)), sim.now().as_nanos());
+                    flight.note(
+                        FlightCode::OpComplete,
+                        node,
+                        Some(conn),
+                        None,
+                        u64::from(to_wire(op)),
+                        h.latency().map_or(0, |l| l.as_nanos()),
+                        sim.now().as_nanos(),
+                    );
                     if tracer.is_enabled() {
                         if let Some(lat) = h.latency() {
                             tracer.op_latency(conn as u32, lat.as_nanos());
@@ -1338,6 +1557,13 @@ impl Endpoint {
             let cost = inner.cfg.cost.copy_cost(len)
                 + (inner.cfg.cost.frame_build + inner.cfg.cost.dma_post) * nfrags as u64;
             inner.cpu_proto.account(cost);
+            if inner.spans.is_enabled() {
+                let c = &inner.conns[conn];
+                inner.spans.serve_started(
+                    SpanKey::new(c.peer_node, c.peer_conn_id as usize, to_wire(initiator_op)),
+                    self.sim.now().as_nanos(),
+                );
+            }
             let c = &mut inner.conns[conn];
             let op_id = c.next_op;
             c.next_op += 1;
@@ -1395,6 +1621,8 @@ impl Endpoint {
                 nics,
                 conns,
                 tracer,
+                spans,
+                flight,
                 ..
             } = &mut *inner;
             let node = *node;
@@ -1438,6 +1666,16 @@ impl Endpoint {
                 Some(conn as u32),
                 Some(rail as u32),
                 EventKind::ExplicitAck { ack: cum },
+            );
+            spans.ack_sent(node, conn, cum, self.sim.now().as_nanos());
+            flight.note(
+                FlightCode::AckExplicit,
+                node,
+                Some(conn),
+                Some(rail as u32),
+                cum,
+                0,
+                self.sim.now().as_nanos(),
             );
             (nics[rail], f)
         };
@@ -1517,6 +1755,8 @@ impl Endpoint {
                 nics,
                 conns,
                 tracer,
+                spans,
+                flight,
                 ..
             } = &mut *inner;
             let node = *node;
@@ -1560,6 +1800,17 @@ impl Endpoint {
                 Some(conn as u32),
                 Some(rail as u32),
                 EventKind::NackSend { gaps },
+            );
+            // A NACK also carries the cumulative ack.
+            spans.ack_sent(node, conn, c.seqs.cumulative(), self.sim.now().as_nanos());
+            flight.note(
+                FlightCode::Nack,
+                node,
+                Some(conn),
+                Some(rail as u32),
+                c.seqs.cumulative(),
+                u64::from(gaps),
+                self.sim.now().as_nanos(),
             );
             (nics[rail], f)
         };
@@ -1616,14 +1867,32 @@ impl Endpoint {
                 inner.tracer.emit(
                     now.as_nanos(),
                     Some(conn as u32),
-                    None,
+                    rail.map(|r| r as u32),
                     EventKind::RtoFire { seq },
                 );
                 inner.tracer.emit(
                     now.as_nanos(),
                     Some(conn as u32),
-                    None,
+                    rail.map(|r| r as u32),
                     EventKind::RtoBackoff { rto_ns, backoff },
+                );
+                let node = inner.node;
+                inner.flight.note(
+                    FlightCode::RtoFire,
+                    node,
+                    Some(conn),
+                    rail.map(|r| r as u32),
+                    seq,
+                    0,
+                    now.as_nanos(),
+                );
+                inner.flight.rto_backoff(
+                    node,
+                    conn,
+                    rail.map(|r| r as u32),
+                    rto_ns,
+                    backoff,
+                    now.as_nanos(),
                 );
                 if let Some(RailEvent::Dead(rail)) = rail_ev {
                     inner.stats.rail_down_events += 1;
@@ -1633,6 +1902,9 @@ impl Endpoint {
                         Some(rail as u32),
                         EventKind::RailDown { rail: rail as u32 },
                     );
+                    inner
+                        .flight
+                        .rail_death(node, Some(conn), rail as u32, now.as_nanos());
                 }
                 inner.cpu_proto.account(per);
                 (
@@ -1731,6 +2003,8 @@ impl EndpointInner {
             nics,
             conns,
             tracer,
+            spans,
+            flight,
             ..
         } = self;
         let node = *node;
@@ -1757,7 +2031,128 @@ impl EndpointInner {
             Some(rail as u32),
             EventKind::FrameSend { seq, retransmit },
         );
+        if spans.is_enabled() {
+            let now_ns = sim.now().as_nanos();
+            // The frame joins the NIC's transmit backlog behind whatever is
+            // already queued: that backlog is the RailQueue phase.
+            let queue_ns = net.nic_tx_backlog(nics[rail]).as_nanos();
+            match f.header.kind {
+                FrameKind::Data => {
+                    let crit = f.header.flags.contains(FrameFlags::LAST_FRAGMENT);
+                    spans.frame_tx(
+                        SpanKey::new(node, conn, f.header.op_id),
+                        Leg::Req,
+                        crit,
+                        retransmit,
+                        rail as u32,
+                        queue_ns,
+                        now_ns,
+                    );
+                }
+                FrameKind::ReadRequest => {
+                    spans.frame_tx(
+                        SpanKey::new(node, conn, f.header.op_id),
+                        Leg::Req,
+                        true,
+                        retransmit,
+                        rail as u32,
+                        queue_ns,
+                        now_ns,
+                    );
+                }
+                FrameKind::ReadResponse => {
+                    let crit = f.header.flags.contains(FrameFlags::LAST_FRAGMENT);
+                    spans.frame_tx(
+                        SpanKey::new(c.peer_node, c.peer_conn_id as usize, to_wire(f.header.aux)),
+                        Leg::Resp,
+                        crit,
+                        retransmit,
+                        rail as u32,
+                        queue_ns,
+                        now_ns,
+                    );
+                }
+                _ => {}
+            }
+            // Every data-bearing frame piggybacks the cumulative ack.
+            spans.ack_sent(node, conn, c.seqs.cumulative(), now_ns);
+        }
+        flight.note(
+            FlightCode::FrameSend,
+            node,
+            Some(conn),
+            Some(rail as u32),
+            seq,
+            u64::from(retransmit),
+            sim.now().as_nanos(),
+        );
         Some((nics[rail], f))
+    }
+
+    /// Stamp the physical-arrival milestone for a span-critical frame: the
+    /// last fragment of a write or read response, or a read request. The
+    /// span is keyed by the *origin* of the op the frame belongs to, which
+    /// every header identifies without any lookup table (§ spans docs).
+    fn span_arrival(&self, f: &Frame, now_ns: u64) {
+        let conn = f.header.conn as usize;
+        if conn >= self.conns.len() {
+            return;
+        }
+        match f.header.kind {
+            FrameKind::Data if f.header.flags.contains(FrameFlags::LAST_FRAGMENT) => {
+                let c = &self.conns[conn];
+                self.spans.frame_arrival(
+                    SpanKey::new(c.peer_node, c.peer_conn_id as usize, f.header.op_id),
+                    Leg::Req,
+                    now_ns,
+                );
+            }
+            FrameKind::ReadRequest => {
+                let c = &self.conns[conn];
+                self.spans.frame_arrival(
+                    SpanKey::new(c.peer_node, c.peer_conn_id as usize, f.header.op_id),
+                    Leg::Req,
+                    now_ns,
+                );
+            }
+            FrameKind::ReadResponse if f.header.flags.contains(FrameFlags::LAST_FRAGMENT) => {
+                self.spans.frame_arrival(
+                    SpanKey::new(self.node, conn, to_wire(f.header.aux)),
+                    Leg::Resp,
+                    now_ns,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// Stamp the reorder-admission milestone for a span-critical frame and
+    /// register write last-fragments with the cumulative-ack waiter queue
+    /// (`seq` is the reconstructed 64-bit sequence of this frame).
+    fn span_admit(&self, conn: usize, f: &Frame, seq: u64, now_ns: u64) {
+        let c = &self.conns[conn];
+        match f.header.kind {
+            FrameKind::Data if f.header.flags.contains(FrameFlags::LAST_FRAGMENT) => {
+                let key = SpanKey::new(c.peer_node, c.peer_conn_id as usize, f.header.op_id);
+                self.spans.frame_admitted(key, Leg::Req, now_ns);
+                self.spans.await_cum(self.node, conn, seq, key);
+            }
+            FrameKind::ReadRequest => {
+                self.spans.frame_admitted(
+                    SpanKey::new(c.peer_node, c.peer_conn_id as usize, f.header.op_id),
+                    Leg::Req,
+                    now_ns,
+                );
+            }
+            FrameKind::ReadResponse if f.header.flags.contains(FrameFlags::LAST_FRAGMENT) => {
+                self.spans.frame_admitted(
+                    SpanKey::new(self.node, conn, to_wire(f.header.aux)),
+                    Leg::Resp,
+                    now_ns,
+                );
+            }
+            _ => {}
+        }
     }
 }
 
@@ -2171,5 +2566,77 @@ mod tests {
         assert_eq!(eps[1].stats().explicit_acks_sent, 1);
         // The ack waited for the delayed-ack timeout.
         assert!(report.end_time.as_nanos() >= 80_000);
+    }
+
+    #[test]
+    fn spans_attribute_write_and_read_latency_exactly() {
+        // Spans and the tracer record the same workload; every completed
+        // span's phase breakdown must telescope exactly to its end-to-end
+        // latency, and the span latencies must reconcile with the tracer's
+        // op-latency histograms (same ops, same nanoseconds).
+        let mut cfg = SystemConfig::two_link_1g_unordered(7).with_spans(1024);
+        cfg.trace_ring = 4096;
+        let (sim, _cluster, eps, (c0, _c1)) = rig(cfg);
+        let a = eps[0].clone();
+        let done = sim.spawn("rw", async move {
+            let hw = a
+                .write_bytes(c0, 0x1000, vec![5u8; 30_000], OpFlags::RELAXED.with_notify())
+                .await;
+            hw.wait().await;
+            let hr = a.read(c0, 0x100, 0x1000, 9_000, OpFlags::RELAXED).await;
+            hr.wait().await;
+            true
+        });
+        sim.run().expect_quiescent();
+        assert_eq!(done.try_take(), Some(true));
+
+        let snap = eps[0]
+            .span_recorder()
+            .snapshot()
+            .expect("spans were enabled");
+        assert_eq!(snap.completed_total, 2, "one write span + one read span");
+        assert_eq!(snap.active, 0, "no spans left in flight");
+        let mut span_latency_sum = 0u64;
+        for s in &snap.spans {
+            let b = me_trace::PhaseBreakdown::from_span(s);
+            assert_eq!(
+                b.phases.iter().sum::<u64>(),
+                b.latency_ns,
+                "phases must sum exactly to latency for {:?}",
+                s.kind
+            );
+            assert_eq!(b.latency_ns, s.complete - s.created);
+            assert!(s.frames >= 1 && s.rails_used != 0);
+            span_latency_sum += b.latency_ns;
+        }
+        // Reconcile against the tracer: both observed the same two ops.
+        let t = eps[0].tracer().snapshot().expect("tracer was enabled");
+        let hist_sum: u64 = t.op_latency.values().map(|h| h.sum()).sum();
+        assert_eq!(span_latency_sum, hist_sum);
+    }
+
+    #[test]
+    fn flight_recorder_rides_along_and_dumps_on_demand() {
+        let cfg = SystemConfig::one_link_1g(3).with_flight(me_trace::FlightConfig {
+            dump_dir: None,
+            ..me_trace::FlightConfig::default()
+        });
+        let (sim, _cluster, eps, (c0, _)) = rig(cfg);
+        let a = eps[0].clone();
+        sim.spawn("writer", async move {
+            let h = a.write_bytes(c0, 0, vec![7u8; 20_000], OpFlags::RELAXED).await;
+            h.wait().await;
+        });
+        sim.run().expect_quiescent();
+        let fr = eps[0].flight_recorder();
+        assert!(fr.is_enabled());
+        let dump = fr.force_dump(sim.now().as_nanos()).expect("dump");
+        let text = dump.render();
+        let parsed = me_trace::Json::parse(&text).expect("dump round-trips");
+        let events = parsed.get("events").expect("events array");
+        assert!(
+            !events.items().expect("array").is_empty(),
+            "issue/send/recv/complete events must be in the ring"
+        );
     }
 }

@@ -402,8 +402,15 @@ impl SimInner {
     /// above the scan hint (slot quanta are unique among live entries, so
     /// the first occupied slot holds the minimum quantum). Sorts the slot
     /// on first contact. Only called when `wheel_len > 0`.
+    ///
+    /// The hint may be stale after an idle gap (e.g. only heap events ran
+    /// for a while): every live entry's quantum lies in
+    /// `[quantum(now), quantum(now) + WHEEL_SLOTS)`, so scanning from below
+    /// `quantum(now)` could wrap onto a slot whose sole occupant belongs to
+    /// a *later* quantum with the same residue. Clamping the scan start to
+    /// `quantum(now)` keeps one residue per live window.
     fn wheel_candidate(&mut self) -> usize {
-        let mut q = self.wheel_min_q;
+        let mut q = self.wheel_min_q.max(quantum(self.now));
         loop {
             let s = (q % WHEEL_SLOTS) as usize;
             if self.wheel[s].head != NIL {

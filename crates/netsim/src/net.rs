@@ -24,7 +24,7 @@ use crate::engine::Sim;
 use crate::faults::{FaultAction, GilbertElliott};
 use crate::time::{Dur, SimTime};
 use frame::{FastMap, Frame, MacAddr};
-use me_trace::{EventKind, FaultKind, Tracer};
+use me_trace::{EventKind, FaultKind, FlightCode, FlightRecorder, Tracer};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -186,6 +186,7 @@ struct NetInner {
     /// regardless of unrelated timing randomness.
     fault_rng: SmallRng,
     tracer: Tracer,
+    flight: FlightRecorder,
 }
 
 /// The simulated network: a set of NICs and switches connected by channels.
@@ -193,6 +194,20 @@ struct NetInner {
 pub struct Network {
     sim: Sim,
     inner: Rc<RefCell<NetInner>>,
+}
+
+/// Note a frame drop into the flight recorder, attributed to the sending
+/// node/conn/rail with the channel id as payload.
+fn flight_drop(flight: &FlightRecorder, f: &Frame, ch: ChannelId, t_ns: u64) {
+    flight.note(
+        FlightCode::FrameDrop,
+        f.src.node as usize,
+        Some(f.header.conn as usize),
+        Some(f.src.rail as u32),
+        ch.0 as u64,
+        u64::from(f.header.seq),
+        t_ns,
+    );
 }
 
 /// Draw a frame's latency jitter in `[0, j)` from the simulator's RNG.
@@ -260,6 +275,7 @@ impl Network {
                 fault,
                 fault_rng: SmallRng::seed_from_u64(fault_seed),
                 tracer: Tracer::disabled(),
+                flight: FlightRecorder::disabled(),
             })),
         }
     }
@@ -271,6 +287,14 @@ impl Network {
     /// two wire-time samples per frame (uplink and downlink legs).
     pub fn set_tracer(&self, t: Tracer) {
         self.inner.borrow_mut().tracer = t;
+    }
+
+    /// Attach a [`FlightRecorder`]: the network then notes frame drops,
+    /// corruptions, and scripted fault injections into the always-on ring
+    /// (attributed to the sending node/conn/rail) so post-mortem dumps show
+    /// the network's side of an incident.
+    pub fn set_flight_recorder(&self, fr: FlightRecorder) {
+        self.inner.borrow_mut().flight = fr;
     }
 
     /// Add a switch with the given per-frame forwarding delay.
@@ -391,7 +415,10 @@ impl Network {
         let (end, arrival, to) = {
             let mut inner = self.inner.borrow_mut();
             let NetInner {
-                channels, tracer, ..
+                channels,
+                tracer,
+                flight,
+                ..
             } = &mut *inner;
             let c = &mut channels[ch.0];
             // The jitter draw is unconditional and happens first, so the
@@ -406,6 +433,7 @@ impl Network {
                     Some(f.src.rail as u32),
                     EventKind::FrameDrop,
                 );
+                flight_drop(flight, &f, ch, now.as_nanos());
                 return false;
             }
             // Lazily expire queue entries whose serialization has started.
@@ -420,6 +448,7 @@ impl Network {
                     Some(f.src.rail as u32),
                     EventKind::FrameDrop,
                 );
+                flight_drop(flight, &f, ch, now.as_nanos());
                 return false;
             }
             let start = now.max(c.busy_until);
@@ -471,6 +500,7 @@ impl Network {
                 fault,
                 fault_rng,
                 tracer,
+                flight,
                 ..
             } = &mut *inner;
             let c = &mut channels[ch.0];
@@ -483,6 +513,7 @@ impl Network {
                     Some(f.src.rail as u32),
                     EventKind::FrameDrop,
                 );
+                flight_drop(flight, &f, ch, sim.now().as_nanos());
                 Action::Done
             } else {
                 let (lost, corrupted) = decide_channel_fault(c, *fault, fault_rng);
@@ -494,6 +525,7 @@ impl Network {
                         Some(f.src.rail as u32),
                         EventKind::FrameDrop,
                     );
+                    flight_drop(flight, &f, ch, sim.now().as_nanos());
                     Action::Done
                 } else {
                     if corrupted {
@@ -503,6 +535,15 @@ impl Network {
                             Some(f.header.conn),
                             Some(f.src.rail as u32),
                             EventKind::FrameCorrupt,
+                        );
+                        flight.note(
+                            FlightCode::FrameCorrupt,
+                            f.src.node as usize,
+                            Some(f.header.conn as usize),
+                            Some(f.src.rail as u32),
+                            ch.0 as u64,
+                            u64::from(f.header.seq),
+                            sim.now().as_nanos(),
                         );
                     }
                     match to {
@@ -575,9 +616,9 @@ impl Network {
     pub fn apply_fault(&self, nic: NicId, action: FaultAction) {
         let now = self.sim.now();
         let mut inner = self.inner.borrow_mut();
-        let (up_ch, down_ch, rail) = {
+        let (up_ch, down_ch, rail, node) = {
             let n = &inner.nics[nic.0];
-            (n.tx_channel, n.rx_channel, n.mac.rail as u32)
+            (n.tx_channel, n.rx_channel, n.mac.rail as u32, n.mac.node)
         };
         let kind = match action {
             FaultAction::LinkDown | FaultAction::LinkUp => {
@@ -616,6 +657,15 @@ impl Network {
         inner
             .tracer
             .emit(now.as_nanos(), None, Some(rail), EventKind::FaultInjected { kind });
+        inner.flight.note(
+            FlightCode::FaultInjected,
+            node as usize,
+            None,
+            Some(rail),
+            kind as u64,
+            0,
+            now.as_nanos(),
+        );
     }
 
     /// Whether `nic`'s link is administratively up (its transmit leg).
@@ -635,7 +685,10 @@ impl Network {
         let (arrival, to) = {
             let mut inner = self.inner.borrow_mut();
             let NetInner {
-                channels, tracer, ..
+                channels,
+                tracer,
+                flight,
+                ..
             } = &mut *inner;
             let c = &mut channels[ch.0];
             let jitter = draw_jitter(&self.sim, c.params.jitter);
@@ -647,6 +700,7 @@ impl Network {
                     Some(f.src.rail as u32),
                     EventKind::FrameDrop,
                 );
+                flight_drop(flight, &f, ch, now.as_nanos());
                 return;
             }
             while c.queued_starts.front().is_some_and(|&s| s <= now) {
@@ -660,6 +714,7 @@ impl Network {
                     Some(f.src.rail as u32),
                     EventKind::FrameDrop,
                 );
+                flight_drop(flight, &f, ch, now.as_nanos());
                 return;
             }
             let start = now.max(c.busy_until);
@@ -688,6 +743,7 @@ impl Network {
                         Some(f.src.rail as u32),
                         EventKind::FrameDrop,
                     );
+                    flight_drop(&inner.flight, &f, ch, sim.now().as_nanos());
                     return;
                 }
             }

@@ -1,0 +1,475 @@
+//! Critical-path latency attribution over completed [`OpSpan`]s.
+//!
+//! Each completed span's milestones are clamped into a monotone chain and
+//! differenced into **exclusive phases**: every nanosecond of
+//! `complete - created` lands in exactly one phase, so per-phase sums
+//! telescope *exactly* back to the op's measured latency (the property the
+//! attribution proptests pin). Phases roll up per connection and per rail
+//! into mergeable [`LogHistogram`]s and render as the
+//! `BENCH_attribution.json` artifact.
+//!
+//! The taxonomy is a superset of the seven-phase split in the issue: the
+//! wire-facing phases (send-window stall, rail queueing, wire time,
+//! retransmit repair, reorder wait, fence stall, ACK return) are joined by
+//! host-side bookends (issue cost, receive processing, ack trigger delay,
+//! completion wake) so the telescoping is airtight end to end.
+
+use crate::hist::LogHistogram;
+use crate::json::Json;
+use crate::span::{OpSpan, SpanKind, SpanSnapshot};
+use std::collections::BTreeMap;
+
+/// Exclusive latency phases, in causal order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Issue-path CPU: application call to frames queued.
+    HostIssue,
+    /// Waiting for send-window credit (first critical transmission held
+    /// back; for reads also the target-side response queue delay).
+    SendWindow,
+    /// Repair time: first to last transmission of the critical frame.
+    Retransmit,
+    /// NIC transmit backlog ahead of the deciding transmission.
+    RailQueue,
+    /// Propagation + serialization of the deciding transmission.
+    Wire,
+    /// Receive-path CPU: NIC delivery to sequence admission.
+    RxProcess,
+    /// Admitted but waiting for earlier sequences (reorder buffer).
+    Reorder,
+    /// Fence-induced stall on the op's completion path.
+    Fence,
+    /// Receiver had the data but had not yet emitted a covering ack.
+    AckDelay,
+    /// The covering ack's flight back to the sender.
+    AckReturn,
+    /// Sender-side completion dispatch and application wake.
+    CompleteWake,
+}
+
+/// All phases, in causal order (stable for JSON column ordering).
+pub const PHASES: [Phase; 11] = [
+    Phase::HostIssue,
+    Phase::SendWindow,
+    Phase::Retransmit,
+    Phase::RailQueue,
+    Phase::Wire,
+    Phase::RxProcess,
+    Phase::Reorder,
+    Phase::Fence,
+    Phase::AckDelay,
+    Phase::AckReturn,
+    Phase::CompleteWake,
+];
+
+impl Phase {
+    /// Stable snake_case label (JSON keys, report columns).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::HostIssue => "host_issue",
+            Phase::SendWindow => "send_window",
+            Phase::Retransmit => "retransmit",
+            Phase::RailQueue => "rail_queue",
+            Phase::Wire => "wire",
+            Phase::RxProcess => "rx_process",
+            Phase::Reorder => "reorder",
+            Phase::Fence => "fence",
+            Phase::AckDelay => "ack_delay",
+            Phase::AckReturn => "ack_return",
+            Phase::CompleteWake => "complete_wake",
+        }
+    }
+
+    /// Index into [`PHASES`]-shaped arrays.
+    pub fn idx(&self) -> usize {
+        PHASES.iter().position(|p| p == self).expect("phase listed")
+    }
+}
+
+/// One op's exclusive phase durations (ns). Produced by
+/// [`PhaseBreakdown::from_span`]; `phases` always sums to `latency_ns`.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseBreakdown {
+    /// The analyzed span (copied for rail/conn attribution downstream).
+    pub span: OpSpan,
+    /// `complete - created` (ns).
+    pub latency_ns: u64,
+    /// Exclusive durations, indexed like [`PHASES`].
+    pub phases: [u64; PHASES.len()],
+}
+
+impl PhaseBreakdown {
+    /// Attribute one completed span. Milestones are first clamped into a
+    /// monotone chain (an unstamped milestone collapses onto its
+    /// predecessor, yielding a zero-width phase), then differenced; the
+    /// fence share of a wait is carved out of the enclosing hold, never
+    /// added on top — so the total telescopes exactly.
+    pub fn from_span(span: &OpSpan) -> Self {
+        let mut phases = [0u64; PHASES.len()];
+        let mut add = |p: Phase, ns: u64| phases[p.idx()] += ns;
+
+        // Clamp into a monotone chain starting at `created`.
+        let created = span.created;
+        let issue = span.issue.max(created);
+        let first_tx = span.first_tx.max(issue);
+        let last_tx = span.last_tx.max(first_tx);
+        let arrival = span.arrival.max(last_tx);
+        let admit = span.admit.max(arrival);
+
+        add(Phase::HostIssue, issue - created);
+        add(Phase::SendWindow, first_tx - issue);
+        add(Phase::Retransmit, last_tx - first_tx);
+        let queue = span.tx_queue.min(arrival - last_tx);
+        add(Phase::RailQueue, queue);
+        add(Phase::Wire, arrival - last_tx - queue);
+        add(Phase::RxProcess, admit - arrival);
+
+        let end = match span.kind {
+            SpanKind::Write => {
+                // admit ≤ cum ≤ ack_tx ≤ ack_rx ≤ complete
+                let cum = span.cum.max(admit);
+                let ack_tx = span.ack_tx.max(cum);
+                let ack_rx = span.ack_rx.max(ack_tx);
+                add(Phase::Reorder, cum - admit);
+                add(Phase::AckDelay, ack_tx - cum);
+                // A lost covering ack is repaired by a later one; the
+                // repair rides in AckReturn (ack_tx stays the first
+                // emission).
+                add(Phase::AckReturn, ack_rx - ack_tx);
+                ack_rx
+            }
+            SpanKind::Read => {
+                // admit ≤ serve ≤ resp_first_tx ≤ resp_last_tx ≤
+                // resp_arrival ≤ resp_admit ≤ released ≤ complete
+                let serve = span.serve.max(admit);
+                let resp_first_tx = span.resp_first_tx.max(serve);
+                let resp_last_tx = span.resp_last_tx.max(resp_first_tx);
+                let resp_arrival = span.resp_arrival.max(resp_last_tx);
+                let resp_admit = span.resp_admit.max(resp_arrival);
+                let released = span.released.max(resp_admit);
+
+                // Request held at the target before service: the fence
+                // share is carved out of the hold, the rest is reorder.
+                let hold = serve - admit;
+                let fence_req = span.fence_req_ns.min(hold);
+                add(Phase::Fence, fence_req);
+                add(Phase::Reorder, hold - fence_req);
+
+                add(Phase::SendWindow, resp_first_tx - serve);
+                add(Phase::Retransmit, resp_last_tx - resp_first_tx);
+                let rq = span.resp_queue.min(resp_arrival - resp_last_tx);
+                add(Phase::RailQueue, rq);
+                add(Phase::Wire, resp_arrival - resp_last_tx - rq);
+                add(Phase::RxProcess, resp_admit - resp_arrival);
+
+                let hold = released - resp_admit;
+                let fence_resp = span.fence_resp_ns.min(hold);
+                add(Phase::Fence, fence_resp);
+                add(Phase::Reorder, hold - fence_resp);
+                released
+            }
+        };
+        let complete = span.complete.max(end);
+        add(Phase::CompleteWake, complete - end);
+
+        PhaseBreakdown {
+            span: *span,
+            latency_ns: complete - created,
+            phases,
+        }
+    }
+}
+
+/// Mergeable rollup of breakdowns (per connection, per rail, overall).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseRollup {
+    /// Ops folded in.
+    pub ops: u64,
+    /// Payload bytes across those ops.
+    pub bytes: u64,
+    /// Retransmitted frame transmissions across those ops.
+    pub retransmits: u64,
+    /// Sum of op latencies (ns) — always equals the sum of `phase_total`.
+    pub latency_total_ns: u64,
+    /// Op latency distribution.
+    pub latency_hist: LogHistogram,
+    /// Per-phase exclusive totals (ns), indexed like [`PHASES`].
+    pub phase_total_ns: [u64; PHASES.len()],
+    /// Per-phase distributions over ops.
+    pub phase_hist: [LogHistogram; PHASES.len()],
+}
+
+impl PhaseRollup {
+    /// Fold one breakdown in.
+    pub fn add(&mut self, b: &PhaseBreakdown) {
+        self.ops += 1;
+        self.bytes += b.span.bytes;
+        self.retransmits += b.span.retransmits as u64;
+        self.latency_total_ns += b.latency_ns;
+        self.latency_hist.record(b.latency_ns);
+        for (i, &ns) in b.phases.iter().enumerate() {
+            self.phase_total_ns[i] += ns;
+            self.phase_hist[i].record(ns);
+        }
+    }
+
+    /// Merge another rollup in (histograms are bucket-wise mergeable).
+    pub fn merge(&mut self, other: &PhaseRollup) {
+        self.ops += other.ops;
+        self.bytes += other.bytes;
+        self.retransmits += other.retransmits;
+        self.latency_total_ns += other.latency_total_ns;
+        self.latency_hist.merge(&other.latency_hist);
+        for i in 0..PHASES.len() {
+            self.phase_total_ns[i] += other.phase_total_ns[i];
+            self.phase_hist[i].merge(&other.phase_hist[i]);
+        }
+    }
+
+    /// Sum of all exclusive phase totals — equals `latency_total_ns` by
+    /// construction.
+    pub fn phase_sum_ns(&self) -> u64 {
+        self.phase_total_ns.iter().sum()
+    }
+
+    /// Render as JSON (totals, per-phase totals/fractions, percentiles).
+    pub fn to_json(&self) -> Json {
+        let mut phases = Json::obj();
+        for (i, p) in PHASES.iter().enumerate() {
+            let h = &self.phase_hist[i];
+            phases = phases.set(
+                p.label(),
+                Json::obj()
+                    .set("total_ns", self.phase_total_ns[i])
+                    .set(
+                        "fraction",
+                        if self.latency_total_ns == 0 {
+                            0.0
+                        } else {
+                            self.phase_total_ns[i] as f64 / self.latency_total_ns as f64
+                        },
+                    )
+                    .set("p50_ns", h.percentile(50.0))
+                    .set("p99_ns", h.percentile(99.0)),
+            );
+        }
+        Json::obj()
+            .set("ops", self.ops)
+            .set("bytes", self.bytes)
+            .set("retransmits", self.retransmits)
+            .set("latency_total_ns", self.latency_total_ns)
+            .set("phase_sum_ns", self.phase_sum_ns())
+            .set("latency_p50_ns", self.latency_hist.percentile(50.0))
+            .set("latency_p99_ns", self.latency_hist.percentile(99.0))
+            .set("phases", phases)
+    }
+}
+
+/// Full attribution over a snapshot: overall, per-connection (keyed by the
+/// issuing `(node, conn)`), and per-rail rollups.
+#[derive(Debug, Clone, Default)]
+pub struct Attribution {
+    /// Every retained completed op folded together.
+    pub overall: PhaseRollup,
+    /// Rollup per issuing `(node, conn)`.
+    pub per_conn: BTreeMap<(u16, u16), PhaseRollup>,
+    /// Per-rail rollup of ops whose critical request frame's deciding
+    /// transmission used that rail.
+    pub per_rail: BTreeMap<u32, PhaseRollup>,
+    /// Per-rail NIC transmit-backlog histograms (all data transmissions,
+    /// from the span recorder's rail counters).
+    pub rail_queue: Vec<LogHistogram>,
+    /// Per-rail data-frame transmission counts.
+    pub rail_frames: Vec<u64>,
+    /// Per-rail retransmission counts.
+    pub rail_retransmits: Vec<u64>,
+    /// Completed spans lost to the snapshot ring bound (attribution covers
+    /// the retained tail only when this is non-zero).
+    pub overwritten: u64,
+}
+
+/// Analyze a snapshot into per-connection / per-rail phase rollups.
+pub fn analyze(snap: &SpanSnapshot) -> Attribution {
+    let mut attr = Attribution {
+        rail_queue: snap.rail_queue.clone(),
+        rail_frames: snap.rail_frames.clone(),
+        rail_retransmits: snap.rail_retransmits.clone(),
+        overwritten: snap.overwritten,
+        ..Attribution::default()
+    };
+    for span in &snap.spans {
+        let b = PhaseBreakdown::from_span(span);
+        attr.overall.add(&b);
+        attr.per_conn
+            .entry((span.key.node, span.key.conn))
+            .or_default()
+            .add(&b);
+        if span.crit_rail != u32::MAX {
+            attr.per_rail.entry(span.crit_rail).or_default().add(&b);
+        }
+    }
+    attr
+}
+
+impl Attribution {
+    /// Render the whole attribution as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut conns = Json::obj();
+        for ((node, conn), r) in &self.per_conn {
+            conns = conns.set(&format!("n{node}c{conn}"), r.to_json());
+        }
+        let mut rails = Json::obj();
+        for (rail, r) in &self.per_rail {
+            let mut j = r.to_json();
+            if let Some(h) = self.rail_queue.get(*rail as usize) {
+                j = j
+                    .set("nic_queue_p50_ns", h.percentile(50.0))
+                    .set("nic_queue_p99_ns", h.percentile(99.0));
+            }
+            if let Some(&f) = self.rail_frames.get(*rail as usize) {
+                j = j.set("frames_tx", f);
+            }
+            if let Some(&rt) = self.rail_retransmits.get(*rail as usize) {
+                j = j.set("frames_retransmitted", rt);
+            }
+            rails = rails.set(&format!("rail{rail}"), j);
+        }
+        Json::obj()
+            .set("overall", self.overall.to_json())
+            .set("per_conn", conns)
+            .set("per_rail", rails)
+            .set("spans_overwritten", self.overwritten)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Leg, SpanKey, SpanRecorder};
+
+    fn k(op: u32) -> SpanKey {
+        SpanKey::new(0, 0, op)
+    }
+
+    #[test]
+    fn write_breakdown_telescopes_exactly() {
+        let r = SpanRecorder::enabled(4);
+        let key = k(0);
+        r.op_issued(key, SpanKind::Write, 100, 180, 1, 4096);
+        r.frame_tx(key, Leg::Req, true, false, 0, 40, 250);
+        r.frame_tx(key, Leg::Req, true, true, 1, 10, 900);
+        r.frame_arrival(key, Leg::Req, 1400);
+        r.frame_admitted(key, Leg::Req, 1450);
+        r.await_cum(1, 0, 0, key);
+        r.cum_advanced(1, 0, 1, 1500);
+        r.ack_sent(1, 0, 1, 1600);
+        r.ack_rx(key, 2100);
+        r.op_completed(key, 2200);
+        let b = PhaseBreakdown::from_span(&r.snapshot().unwrap().spans[0]);
+        assert_eq!(b.latency_ns, 2100);
+        assert_eq!(b.phases.iter().sum::<u64>(), b.latency_ns);
+        let g = |p: Phase| b.phases[p.idx()];
+        assert_eq!(g(Phase::HostIssue), 80);
+        assert_eq!(g(Phase::SendWindow), 70);
+        assert_eq!(g(Phase::Retransmit), 650);
+        assert_eq!(g(Phase::RailQueue), 10);
+        assert_eq!(g(Phase::Wire), 490);
+        assert_eq!(g(Phase::RxProcess), 50);
+        assert_eq!(g(Phase::Reorder), 50);
+        assert_eq!(g(Phase::AckDelay), 100);
+        assert_eq!(g(Phase::AckReturn), 500);
+        assert_eq!(g(Phase::CompleteWake), 100);
+        assert_eq!(g(Phase::Fence), 0);
+    }
+
+    #[test]
+    fn read_breakdown_with_fences_telescopes_exactly() {
+        let r = SpanRecorder::enabled(4);
+        let key = k(1);
+        r.op_issued(key, SpanKind::Read, 0, 50, 1, 8192);
+        r.frame_tx(key, Leg::Req, true, false, 0, 0, 60);
+        r.frame_arrival(key, Leg::Req, 500);
+        r.frame_admitted(key, Leg::Req, 520);
+        r.fence_req(key, 30); // request held 30ns of an 80ns hold by a fence
+        r.serve_started(key, 600);
+        r.frame_tx(key, Leg::Resp, true, false, 1, 20, 650);
+        r.frame_arrival(key, Leg::Resp, 1200);
+        r.frame_admitted(key, Leg::Resp, 1230);
+        r.fence_resp(key, 1000); // claims more than the hold: clamped
+        r.resp_released(key, 1300);
+        r.op_completed(key, 1400);
+        let b = PhaseBreakdown::from_span(&r.snapshot().unwrap().spans[0]);
+        assert_eq!(b.latency_ns, 1400);
+        assert_eq!(b.phases.iter().sum::<u64>(), b.latency_ns);
+        let g = |p: Phase| b.phases[p.idx()];
+        // Fence: 30 (request hold) + 70 (response hold, clamped to it).
+        assert_eq!(g(Phase::Fence), 100);
+        // Reorder: (80-30) request + (70-70) response.
+        assert_eq!(g(Phase::Reorder), 50);
+        // SendWindow: 10 (issue→first_tx) + 50 (serve→resp_first_tx).
+        assert_eq!(g(Phase::SendWindow), 60);
+        assert_eq!(g(Phase::RailQueue), 20);
+        assert_eq!(g(Phase::Wire), 440 + 530);
+        assert_eq!(g(Phase::CompleteWake), 100);
+    }
+
+    #[test]
+    fn partially_stamped_span_still_telescopes() {
+        // A span that never made it past issue (e.g. snapshotted after a
+        // forced completion) must still attribute exactly.
+        let r = SpanRecorder::enabled(4);
+        let key = k(2);
+        r.op_issued(key, SpanKind::Write, 10, 25, 1, 64);
+        r.op_completed(key, 500);
+        let b = PhaseBreakdown::from_span(&r.snapshot().unwrap().spans[0]);
+        assert_eq!(b.latency_ns, 490);
+        assert_eq!(b.phases.iter().sum::<u64>(), 490);
+        assert_eq!(b.phases[Phase::HostIssue.idx()], 15);
+        assert_eq!(b.phases[Phase::CompleteWake.idx()], 475);
+    }
+
+    #[test]
+    fn rollup_merge_matches_sequential_adds() {
+        let mk = |lat: u64| {
+            let r = SpanRecorder::enabled(2);
+            r.op_issued(k(0), SpanKind::Write, 0, 0, 1, 10);
+            r.op_completed(k(0), lat);
+            PhaseBreakdown::from_span(&r.snapshot().unwrap().spans[0])
+        };
+        let (a, b) = (mk(100), mk(300));
+        let mut seq = PhaseRollup::default();
+        seq.add(&a);
+        seq.add(&b);
+        let mut merged = PhaseRollup::default();
+        let mut other = PhaseRollup::default();
+        merged.add(&a);
+        other.add(&b);
+        merged.merge(&other);
+        assert_eq!(merged.ops, seq.ops);
+        assert_eq!(merged.latency_total_ns, seq.latency_total_ns);
+        assert_eq!(merged.phase_total_ns, seq.phase_total_ns);
+        assert_eq!(merged.latency_hist, seq.latency_hist);
+        assert_eq!(merged.phase_sum_ns(), merged.latency_total_ns);
+    }
+
+    #[test]
+    fn analyze_groups_by_conn_and_rail() {
+        let r = SpanRecorder::enabled(8);
+        for (conn, rail) in [(0usize, 0u32), (1, 1)] {
+            let key = SpanKey::new(0, conn, 7);
+            r.op_issued(key, SpanKind::Write, 0, 10, 1, 100);
+            r.frame_tx(key, Leg::Req, true, false, rail, 5, 20);
+            r.frame_arrival(key, Leg::Req, 200);
+            r.frame_admitted(key, Leg::Req, 210);
+            r.op_completed(key, 400);
+        }
+        let attr = analyze(&r.snapshot().unwrap());
+        assert_eq!(attr.overall.ops, 2);
+        assert_eq!(attr.per_conn.len(), 2);
+        assert_eq!(attr.per_rail.len(), 2);
+        assert_eq!(attr.overall.phase_sum_ns(), attr.overall.latency_total_ns);
+        let json = attr.to_json().render();
+        assert!(json.contains("n0c1"));
+        assert!(json.contains("rail1"));
+    }
+}

@@ -1,0 +1,489 @@
+//! Always-on flight recorder: a bounded, allocation-free event ring with
+//! trigger-based post-mortem dumps.
+//!
+//! The full [`crate::Tracer`] keeps typed events and is meant for benches;
+//! the flight recorder is its production-grade sibling. Recording one
+//! [`FlightEvent`] is a single 32-byte store into a ring preallocated at
+//! enable time — nothing on the clean path allocates, so the recorder can
+//! stay enabled in production-style runs (the datapath bench gates this at
+//! ≤5% throughput cost and 0 allocs/frame). When something goes wrong —
+//! RTO backoff past a threshold, a rail declared Dead, a fence stall past a
+//! bound — the recorder snapshots the ring (and, when wired to a
+//! [`SpanRecorder`], a full latency attribution) into a JSON post-mortem:
+//! kept in memory, optionally written to `dump_dir`, and renderable with
+//! the `me-inspect` example binary.
+
+use crate::attribution::analyze;
+use crate::json::Json;
+use crate::span::SpanRecorder;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Flight recorder knobs. The defaults suit production-style runs: a 4096
+/// event ring (~128 KiB), dumps on the third RTO backoff, rail death, or a
+/// fence stall past 10 ms, at most 8 dumps retained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightConfig {
+    /// Ring capacity in events (preallocated; each event is 32 bytes).
+    pub ring: usize,
+    /// Dump when a connection's RTO backoff exponent reaches this value
+    /// (0 disables the trigger).
+    pub rto_backoff_trigger: u32,
+    /// Dump when a fence releases after stalling at least this long
+    /// (0 disables the trigger).
+    pub fence_stall_trigger_ns: u64,
+    /// Dump when rail health declares a rail Dead.
+    pub dump_on_rail_death: bool,
+    /// Retain at most this many dumps (further triggers are counted but
+    /// suppressed).
+    pub max_dumps: usize,
+    /// When set, each dump is also written to
+    /// `<dump_dir>/flight_<idx>_<trigger>.json`.
+    pub dump_dir: Option<String>,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            ring: 4096,
+            rto_backoff_trigger: 3,
+            fence_stall_trigger_ns: 10_000_000,
+            dump_on_rail_death: true,
+            max_dumps: 8,
+            dump_dir: None,
+        }
+    }
+}
+
+/// What a [`FlightEvent`] records. Discriminants are stable (they appear in
+/// dumps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FlightCode {
+    /// An op was issued (`a` = wire op id, `b` = bytes).
+    OpIssue = 0,
+    /// An op completed (`a` = wire op id, `b` = latency ns).
+    OpComplete = 1,
+    /// A frame went to a NIC (`a` = seq, `b` = 1 if retransmit).
+    FrameSend = 2,
+    /// A frame was admitted (`a` = seq, `b` = 1 if in order).
+    FrameRecv = 3,
+    /// The network dropped a frame (`a` = link id).
+    FrameDrop = 4,
+    /// The network corrupted a frame (`a` = link id).
+    FrameCorrupt = 5,
+    /// An explicit ack left (`a` = cumulative ack).
+    AckExplicit = 6,
+    /// A NACK left (`a` = cumulative ack, `b` = gap count).
+    Nack = 7,
+    /// A retransmission timer fired (`a` = seq).
+    RtoFire = 8,
+    /// The RTO backed off (`a` = new RTO ns, `b` = backoff exponent).
+    RtoBackoff = 9,
+    /// Rail health declared a rail Dead.
+    RailDown = 10,
+    /// A rail was re-admitted.
+    RailUp = 11,
+    /// A fence released (`a` = wire op id, `b` = stalled ns).
+    FenceRelease = 12,
+    /// The fault plan acted (`a` = fault kind ordinal).
+    FaultInjected = 13,
+}
+
+impl FlightCode {
+    /// Stable snake_case label used in dump JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightCode::OpIssue => "op_issue",
+            FlightCode::OpComplete => "op_complete",
+            FlightCode::FrameSend => "frame_send",
+            FlightCode::FrameRecv => "frame_recv",
+            FlightCode::FrameDrop => "frame_drop",
+            FlightCode::FrameCorrupt => "frame_corrupt",
+            FlightCode::AckExplicit => "ack_explicit",
+            FlightCode::Nack => "nack",
+            FlightCode::RtoFire => "rto_fire",
+            FlightCode::RtoBackoff => "rto_backoff",
+            FlightCode::RailDown => "rail_down",
+            FlightCode::RailUp => "rail_up",
+            FlightCode::FenceRelease => "fence_release",
+            FlightCode::FaultInjected => "fault_injected",
+        }
+    }
+
+    fn from_u8(v: u8) -> &'static str {
+        const ALL: [FlightCode; 14] = [
+            FlightCode::OpIssue,
+            FlightCode::OpComplete,
+            FlightCode::FrameSend,
+            FlightCode::FrameRecv,
+            FlightCode::FrameDrop,
+            FlightCode::FrameCorrupt,
+            FlightCode::AckExplicit,
+            FlightCode::Nack,
+            FlightCode::RtoFire,
+            FlightCode::RtoBackoff,
+            FlightCode::RailDown,
+            FlightCode::RailUp,
+            FlightCode::FenceRelease,
+            FlightCode::FaultInjected,
+        ];
+        ALL.get(v as usize).map(|c| c.label()).unwrap_or("unknown")
+    }
+}
+
+/// One fixed-size ring entry (32 bytes, `Copy`): recording is one store,
+/// never an allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlightEvent {
+    /// Simulation time, ns.
+    pub t_ns: u64,
+    /// First code-specific payload (seq, op id, RTO ns, ...).
+    pub a: u64,
+    /// Second code-specific payload (flags, exponent, stall ns, ...).
+    pub b: u64,
+    /// Node the event happened on.
+    pub node: u16,
+    /// Connection id on that node (`u16::MAX` = none).
+    pub conn: u16,
+    /// Rail/link id (`u8::MAX` = none/unknown).
+    pub rail: u8,
+    /// [`FlightCode`] discriminant.
+    pub code: u8,
+}
+
+/// One retained post-mortem dump.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// What fired ("rto_backoff", "rail_death", "fence_stall", "forced").
+    pub trigger: String,
+    /// When it fired, ns.
+    pub t_ns: u64,
+    /// Where it was written, when `dump_dir` is configured.
+    pub path: Option<String>,
+    /// The full dump document.
+    pub json: Json,
+}
+
+struct FlightState {
+    cfg: FlightConfig,
+    ring: Vec<FlightEvent>,
+    next: usize,
+    filled: bool,
+    total: u64,
+    dumps: Vec<FlightDump>,
+    dumps_suppressed: u64,
+    write_errors: u64,
+    spans: SpanRecorder,
+}
+
+/// Cheaply cloneable flight-recorder handle ([`crate::Tracer`] pattern:
+/// disabled = one branch per call; enabled clones share one ring).
+#[derive(Clone, Default)]
+pub struct FlightRecorder {
+    inner: Option<Rc<RefCell<FlightState>>>,
+}
+
+impl FlightRecorder {
+    /// A recorder that records nothing (the default).
+    pub fn disabled() -> Self {
+        FlightRecorder { inner: None }
+    }
+
+    /// An enabled recorder with its ring preallocated up front.
+    pub fn enabled(cfg: FlightConfig) -> Self {
+        let ring = vec![FlightEvent::default(); cfg.ring.max(16)];
+        FlightRecorder {
+            inner: Some(Rc::new(RefCell::new(FlightState {
+                cfg,
+                ring,
+                next: 0,
+                filled: false,
+                total: 0,
+                dumps: Vec::new(),
+                dumps_suppressed: 0,
+                write_errors: 0,
+                spans: SpanRecorder::disabled(),
+            }))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach a span recorder; subsequent dumps embed a full critical-path
+    /// attribution of its completed spans.
+    pub fn set_span_source(&self, spans: &SpanRecorder) {
+        if let Some(state) = &self.inner {
+            state.borrow_mut().spans = spans.clone();
+        }
+    }
+
+    /// Record one event. Clean-path cost: a branch, a ring store, cursor
+    /// arithmetic — no allocation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn note(
+        &self,
+        code: FlightCode,
+        node: usize,
+        conn: Option<usize>,
+        rail: Option<u32>,
+        a: u64,
+        b: u64,
+        t_ns: u64,
+    ) {
+        let Some(state) = &self.inner else { return };
+        let mut s = state.borrow_mut();
+        let next = s.next;
+        s.ring[next] = FlightEvent {
+            t_ns,
+            a,
+            b,
+            node: node as u16,
+            conn: conn.map(|c| c as u16).unwrap_or(u16::MAX),
+            rail: rail.map(|r| r.min(254) as u8).unwrap_or(u8::MAX),
+            code: code as u8,
+        };
+        s.next = (next + 1) % s.ring.len();
+        if s.next == 0 {
+            s.filled = true;
+        }
+        s.total += 1;
+    }
+
+    /// RTO backoff happened; dumps once the exponent reaches the trigger.
+    pub fn rto_backoff(
+        &self,
+        node: usize,
+        conn: usize,
+        rail: Option<u32>,
+        rto_ns: u64,
+        backoff: u32,
+        t_ns: u64,
+    ) {
+        self.note(
+            FlightCode::RtoBackoff,
+            node,
+            Some(conn),
+            rail,
+            rto_ns,
+            backoff as u64,
+            t_ns,
+        );
+        let Some(state) = &self.inner else { return };
+        let trigger = state.borrow().cfg.rto_backoff_trigger;
+        if trigger > 0 && backoff >= trigger {
+            self.dump("rto_backoff", t_ns);
+        }
+    }
+
+    /// Rail health declared a rail Dead; dumps when configured to.
+    pub fn rail_death(&self, node: usize, conn: Option<usize>, rail: u32, t_ns: u64) {
+        self.note(FlightCode::RailDown, node, conn, Some(rail), 0, 0, t_ns);
+        let Some(state) = &self.inner else { return };
+        let dump = state.borrow().cfg.dump_on_rail_death;
+        if dump {
+            self.dump("rail_death", t_ns);
+        }
+    }
+
+    /// A fence released after `stalled_ns`; dumps past the configured bound.
+    pub fn fence_release(&self, node: usize, conn: usize, op: u64, stalled_ns: u64, t_ns: u64) {
+        self.note(
+            FlightCode::FenceRelease,
+            node,
+            Some(conn),
+            None,
+            op,
+            stalled_ns,
+            t_ns,
+        );
+        let Some(state) = &self.inner else { return };
+        let bound = state.borrow().cfg.fence_stall_trigger_ns;
+        if bound > 0 && stalled_ns >= bound {
+            self.dump("fence_stall", t_ns);
+        }
+    }
+
+    /// Take a dump right now regardless of triggers (used by tools and
+    /// tests). Returns the dump document unless disabled or suppressed.
+    pub fn force_dump(&self, t_ns: u64) -> Option<Json> {
+        self.dump("forced", t_ns)
+    }
+
+    fn dump(&self, trigger: &str, t_ns: u64) -> Option<Json> {
+        let state = self.inner.as_ref()?;
+        let mut s = state.borrow_mut();
+        if s.dumps.len() >= s.cfg.max_dumps {
+            s.dumps_suppressed += 1;
+            return None;
+        }
+        let idx = s.dumps.len();
+
+        let mut events = Vec::new();
+        let (start, len) = if s.filled {
+            (s.next, s.ring.len())
+        } else {
+            (0, s.next)
+        };
+        for i in 0..len {
+            let e = &s.ring[(start + i) % s.ring.len()];
+            let mut j = Json::obj()
+                .set("t_ns", e.t_ns)
+                .set("code", FlightCode::from_u8(e.code))
+                .set("node", e.node as u64)
+                .set("a", e.a)
+                .set("b", e.b);
+            if e.conn != u16::MAX {
+                j = j.set("conn", e.conn as u64);
+            }
+            if e.rail != u8::MAX {
+                j = j.set("rail", e.rail as u64);
+            }
+            events.push(j);
+        }
+
+        let mut doc = Json::obj()
+            .set("kind", "multiedge_flight_dump")
+            .set("trigger", trigger)
+            .set("t_ns", t_ns)
+            .set("events_total", s.total)
+            .set("events_retained", len)
+            .set("events", events);
+        if let Some(snap) = s.spans.snapshot() {
+            doc = doc.set("attribution", analyze(&snap).to_json());
+        }
+
+        let mut path = None;
+        if let Some(dir) = s.cfg.dump_dir.clone() {
+            let file = format!("{dir}/flight_{idx}_{trigger}.json");
+            let ok = std::fs::create_dir_all(&dir).is_ok()
+                && std::fs::write(&file, doc.render_pretty()).is_ok();
+            if ok {
+                path = Some(file);
+            } else {
+                s.write_errors += 1;
+            }
+        }
+
+        s.dumps.push(FlightDump {
+            trigger: trigger.to_string(),
+            t_ns,
+            path,
+            json: doc.clone(),
+        });
+        Some(doc)
+    }
+
+    /// Retained dumps, in trigger order.
+    pub fn dumps(&self) -> Vec<FlightDump> {
+        self.inner
+            .as_ref()
+            .map(|s| s.borrow().dumps.clone())
+            .unwrap_or_default()
+    }
+
+    /// `(events_recorded_total, dumps_taken, dumps_suppressed)`.
+    pub fn counters(&self) -> (u64, usize, u64) {
+        self.inner
+            .as_ref()
+            .map(|s| {
+                let s = s.borrow();
+                (s.total, s.dumps.len(), s.dumps_suppressed)
+            })
+            .unwrap_or((0, 0, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let fr = FlightRecorder::disabled();
+        assert!(!fr.is_enabled());
+        fr.note(FlightCode::FrameSend, 0, Some(0), Some(0), 1, 0, 10);
+        assert!(fr.force_dump(20).is_none());
+        assert_eq!(fr.counters(), (0, 0, 0));
+    }
+
+    #[test]
+    fn ring_keeps_newest_events_in_order() {
+        let fr = FlightRecorder::enabled(FlightConfig {
+            ring: 16,
+            ..FlightConfig::default()
+        });
+        for i in 0..40u64 {
+            fr.note(FlightCode::FrameSend, 0, Some(0), Some(0), i, 0, i * 10);
+        }
+        let doc = fr.force_dump(400).unwrap();
+        let events = doc.get("events").unwrap().items().unwrap();
+        assert_eq!(events.len(), 16);
+        // Oldest retained is seq 24 (40 - 16), strictly ascending after.
+        let seqs: Vec<u64> = events.iter().map(|e| e.get("a").unwrap().as_u64().unwrap()).collect();
+        assert_eq!(seqs, (24..40).collect::<Vec<_>>());
+        assert_eq!(doc.get("events_total").unwrap().as_u64(), Some(40));
+    }
+
+    #[test]
+    fn rto_backoff_trigger_fires_at_threshold() {
+        let fr = FlightRecorder::enabled(FlightConfig {
+            rto_backoff_trigger: 3,
+            ..FlightConfig::default()
+        });
+        fr.rto_backoff(0, 0, Some(1), 20_000_000, 1, 100);
+        fr.rto_backoff(0, 0, Some(1), 40_000_000, 2, 200);
+        assert_eq!(fr.counters().1, 0);
+        fr.rto_backoff(0, 0, Some(1), 80_000_000, 3, 300);
+        let dumps = fr.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].trigger, "rto_backoff");
+        assert_eq!(dumps[0].t_ns, 300);
+    }
+
+    #[test]
+    fn dumps_are_bounded_and_suppressed_after() {
+        let fr = FlightRecorder::enabled(FlightConfig {
+            max_dumps: 2,
+            ..FlightConfig::default()
+        });
+        assert!(fr.force_dump(1).is_some());
+        assert!(fr.force_dump(2).is_some());
+        assert!(fr.force_dump(3).is_none());
+        let (_, taken, suppressed) = fr.counters();
+        assert_eq!((taken, suppressed), (2, 1));
+    }
+
+    #[test]
+    fn rail_death_dump_is_configurable() {
+        let fr = FlightRecorder::enabled(FlightConfig {
+            dump_on_rail_death: false,
+            ..FlightConfig::default()
+        });
+        fr.rail_death(0, Some(0), 2, 50);
+        assert_eq!(fr.counters().1, 0);
+        let fr = FlightRecorder::enabled(FlightConfig::default());
+        fr.rail_death(1, None, 2, 60);
+        assert_eq!(fr.dumps()[0].trigger, "rail_death");
+    }
+
+    #[test]
+    fn dump_round_trips_through_parser() {
+        let fr = FlightRecorder::enabled(FlightConfig::default());
+        fr.note(FlightCode::OpIssue, 0, Some(0), None, 7, 4096, 10);
+        fr.fence_release(0, 0, 7, 15_000_000, 20_000_000);
+        let dumps = fr.dumps();
+        assert_eq!(dumps.len(), 1, "fence stall past bound must dump");
+        assert_eq!(dumps[0].trigger, "fence_stall");
+        let text = dumps[0].json.render_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("kind").unwrap().as_str(),
+            Some("multiedge_flight_dump")
+        );
+        assert_eq!(parsed, dumps[0].json);
+    }
+}

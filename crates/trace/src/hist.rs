@@ -87,6 +87,14 @@ impl LogHistogram {
         self.count
     }
 
+    /// Exact sum of the recorded samples (saturating at `u64::MAX`).
+    /// Unlike the percentiles this is not quantized, so two histograms
+    /// recording the same underlying durations report identical sums —
+    /// the attribution layer relies on that for exact reconciliation.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Smallest recorded sample (0 when empty).
     pub fn min(&self) -> u64 {
         if self.count == 0 {

@@ -29,6 +29,25 @@
 //! runs) or *enabled* (shared mutable state behind `Rc<RefCell>`; the whole
 //! simulator is single-threaded by design).
 //!
+//! On top of the flat tracer sit three causal layers (PR 4):
+//!
+//! 4. **Op spans** — [`SpanRecorder`] / [`OpSpan`]: every RDMA op owns a
+//!    milestone record keyed by its origin `(node, conn, wire op id)`,
+//!    stamped at issue, per-rail transmission, arrival, reorder admission,
+//!    ack emission/return, and completion, forming a small causal DAG per
+//!    op.
+//! 5. **Critical-path attribution** — [`attribution::analyze`] walks
+//!    completed spans and splits each op's end-to-end latency into
+//!    *exclusive* phases ([`attribution::Phase`]: fence stall, send-window
+//!    stall, rail queueing, wire time, reorder wait, retransmit repair,
+//!    ACK return, plus host-side bookends) that sum exactly to the
+//!    measured latency, rolled up per connection and per rail.
+//! 6. **Flight recorder** — [`FlightRecorder`]: a bounded allocation-free
+//!    event ring that stays enabled in production-style runs and writes
+//!    JSON post-mortem dumps when triggers fire (RTO backoff past a
+//!    threshold, rail death, oversized fence stalls); `Json::parse` reads
+//!    the dumps back for the `me-inspect` tool.
+//!
 //! ```
 //! use me_trace::{EventKind, Tracer};
 //!
@@ -48,15 +67,21 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod event;
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod report;
 pub mod ring;
+pub mod span;
 mod tracer;
 
+pub use attribution::{analyze, Attribution, Phase, PhaseBreakdown, PhaseRollup, PHASES};
 pub use event::{Event, EventKind, FaultKind};
+pub use flight::{FlightCode, FlightConfig, FlightDump, FlightEvent, FlightRecorder};
 pub use hist::LogHistogram;
 pub use json::Json;
 pub use ring::EventRing;
+pub use span::{Leg, OpSpan, SpanKey, SpanKind, SpanRecorder, SpanSnapshot};
 pub use tracer::{TraceSnapshot, Tracer};

@@ -1,0 +1,737 @@
+//! Causal operation spans: per-op milestone records threaded through the
+//! protocol.
+//!
+//! The flat event ring answers "what happened when", but attributing one
+//! operation's end-to-end latency needs *causality*: which transmission of
+//! the op's critical frame mattered, when the receiver's cumulative sequence
+//! passed it, when the covering acknowledgement left and returned. A
+//! [`SpanRecorder`] collects exactly that: every RDMA op owns one
+//! [`OpSpan`] keyed by its **origin** (issuing node, issuing connection id,
+//! wire op id) — a key every endpoint on the path can recompute from frame
+//! headers alone, so no alias table is needed — and the protocol stamps
+//! monotone milestones into it as the op moves through issue, send window,
+//! per-rail transmission, the wire, receive reorder, acknowledgement and
+//! completion. Completed spans land in a bounded ring; the
+//! [`crate::attribution`] module turns them into exclusive phase
+//! breakdowns.
+//!
+//! The recorder follows the [`crate::Tracer`] pattern: a disabled handle is
+//! a `None` and every record call is one branch; all enabled clones share
+//! one state, so a whole simulated cluster records into a single, causally
+//! consistent span set.
+
+use crate::hist::LogHistogram;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
+
+/// Fx-style hasher for the span maps (`me-trace` is dependency-free, so the
+/// workspace's shared FastMap is reimplemented minimally here).
+#[derive(Default)]
+pub struct SpanHasher(u64);
+
+impl Hasher for SpanHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type SpanMap<V> = HashMap<u64, V, BuildHasherDefault<SpanHasher>>;
+
+/// The globally unique identity of an operation: the node and connection id
+/// where it was issued plus its 32-bit wire op id. Computable at every
+/// protocol site from frame headers (`op_id` for data/read-request frames,
+/// `aux` for read-response frames), which is what makes the span layer
+/// alias-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanKey {
+    /// Issuing node index.
+    pub node: u16,
+    /// Connection id on the issuing node.
+    pub conn: u16,
+    /// The op's 32-bit wire id (dense per connection).
+    pub op: u32,
+}
+
+impl SpanKey {
+    /// Build a key; `node`/`conn` are truncated to 16 bits (clusters here
+    /// are orders of magnitude smaller).
+    pub fn new(node: usize, conn: usize, op: u32) -> Self {
+        Self {
+            node: node as u16,
+            conn: conn as u16,
+            op,
+        }
+    }
+
+    fn pack(self) -> u64 {
+        ((self.node as u64) << 48) | ((self.conn as u64) << 32) | self.op as u64
+    }
+
+    #[cfg(test)]
+    fn unpack(v: u64) -> Self {
+        Self {
+            node: (v >> 48) as u16,
+            conn: (v >> 32) as u16,
+            op: v as u32,
+        }
+    }
+}
+
+/// Which kind of operation a span tracks (the two have different milestone
+/// chains — see [`crate::attribution`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Remote write: data flows origin → peer, the ack returns.
+    Write,
+    /// Remote read: a request flows origin → peer, response data returns.
+    Read,
+}
+
+impl SpanKind {
+    /// Short stable label for JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::Write => "write",
+            SpanKind::Read => "read",
+        }
+    }
+}
+
+/// Which leg of the op a frame belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Leg {
+    /// The origin→peer leg (write data frames, the read request).
+    Req,
+    /// The peer→origin leg (read response frames).
+    Resp,
+}
+
+/// One operation's milestone record. All times are simulation nanoseconds;
+/// `0` means "not stamped" (the attribution clamp treats an unstamped
+/// milestone as coincident with its predecessor, so a partially stamped
+/// span still telescopes exactly).
+///
+/// The *critical frame* of a leg is the one whose admission can complete
+/// that leg: the `LAST_FRAGMENT` data frame, the read request, or the
+/// `LAST_FRAGMENT` read-response frame. Transmission milestones
+/// (`first_tx`/`last_tx`/queue/rail) track that frame only; retransmission
+/// and rail rollups cover every frame of the op.
+#[derive(Debug, Clone, Copy)]
+pub struct OpSpan {
+    /// Origin identity.
+    pub key: SpanKey,
+    /// Write or read.
+    pub kind: SpanKind,
+    /// Payload bytes moved by the op.
+    pub bytes: u64,
+    /// Data frames the op fragments into (request frames for reads count 1).
+    pub frames: u32,
+    /// Retransmitted frame transmissions attributed to this op (any leg).
+    pub retransmits: u32,
+    /// Bitmask of rails any of this op's frames were transmitted on.
+    pub rails_used: u32,
+    /// Rail that carried the last pre-admission transmission of the
+    /// critical request-leg frame (`u32::MAX` = unknown).
+    pub crit_rail: u32,
+    /// Same, response leg.
+    pub resp_rail: u32,
+
+    /// Application called write/read (same instant the handle's latency
+    /// clock starts, so span total == handle latency exactly).
+    pub created: u64,
+    /// Initiation cost paid; frames queued and op id assigned.
+    pub issue: u64,
+    /// First transmission of the critical request-leg frame.
+    pub first_tx: u64,
+    /// Last pre-admission transmission of that frame.
+    pub last_tx: u64,
+    /// NIC transmit backlog ahead of that last transmission, ns.
+    pub tx_queue: u64,
+    /// That frame's delivery at the receiving NIC.
+    pub arrival: u64,
+    /// Its admission by the receive path (sequence tracker).
+    pub admit: u64,
+    /// Receiver's cumulative sequence passed the op's last frame (writes).
+    pub cum: u64,
+    /// First acknowledgement covering the op left the receiver (writes).
+    pub ack_tx: u64,
+    /// That acknowledgement reached the sender (writes).
+    pub ack_rx: u64,
+    /// Target began serving the read (reads).
+    pub serve: u64,
+    /// First transmission of the critical response frame (reads).
+    pub resp_first_tx: u64,
+    /// Last pre-admission transmission of it (reads).
+    pub resp_last_tx: u64,
+    /// NIC backlog ahead of that transmission, ns (reads).
+    pub resp_queue: u64,
+    /// Critical response frame delivered at the initiator NIC (reads).
+    pub resp_arrival: u64,
+    /// ... and admitted by the initiator's receive path (reads).
+    pub resp_admit: u64,
+    /// All response data applied locally; the read left the reorder buffer.
+    pub released: u64,
+    /// The op's handle completed (application wake included).
+    pub complete: u64,
+
+    /// Fence-induced stall on the request leg's completion path (reads:
+    /// request held at the target before service).
+    pub fence_req_ns: u64,
+    /// Fence stall on the response leg (reads: response held at the
+    /// initiator before applying).
+    pub fence_resp_ns: u64,
+    /// Write-only, informational: when the receiver fully applied the data
+    /// (not on the sender-observed completion path, which ends at the ack).
+    pub delivered: u64,
+    /// Write-only, informational: receiver-side fence stall before apply.
+    pub recv_fence_ns: u64,
+}
+
+impl OpSpan {
+    fn new(key: SpanKey, kind: SpanKind, created: u64, issue: u64, frames: u32, bytes: u64) -> Self {
+        OpSpan {
+            key,
+            kind,
+            bytes,
+            frames,
+            retransmits: 0,
+            rails_used: 0,
+            crit_rail: u32::MAX,
+            resp_rail: u32::MAX,
+            created,
+            issue,
+            first_tx: 0,
+            last_tx: 0,
+            tx_queue: 0,
+            arrival: 0,
+            admit: 0,
+            cum: 0,
+            ack_tx: 0,
+            ack_rx: 0,
+            serve: 0,
+            resp_first_tx: 0,
+            resp_last_tx: 0,
+            resp_queue: 0,
+            resp_arrival: 0,
+            resp_admit: 0,
+            released: 0,
+            complete: 0,
+            fence_req_ns: 0,
+            fence_resp_ns: 0,
+            delivered: 0,
+            recv_fence_ns: 0,
+        }
+    }
+}
+
+/// Per-(receiving node, receiving connection) queues of ops waiting for the
+/// cumulative sequence / an outgoing ack to pass their last frame.
+#[derive(Default)]
+struct RecvWaiters {
+    /// (last frame seq, span key): admitted last fragments waiting for the
+    /// cumulative sequence to pass them.
+    await_cum: VecDeque<(u64, u64)>,
+    /// Same, waiting for an outgoing acknowledgement to cover them.
+    await_ack: VecDeque<(u64, u64)>,
+}
+
+struct SpanState {
+    /// Spans in flight, keyed by packed [`SpanKey`].
+    active: SpanMap<OpSpan>,
+    /// Receiver-side waiter queues, keyed by packed (node, conn).
+    waiters: SpanMap<RecvWaiters>,
+    /// Completed spans, oldest first, bounded.
+    done: VecDeque<OpSpan>,
+    done_cap: usize,
+    completed_total: u64,
+    overwritten: u64,
+    /// Issues refused because the active map hit its bound.
+    dropped_active: u64,
+    /// Per-rail NIC-backlog histograms (every data-frame transmission).
+    rail_queue: Vec<LogHistogram>,
+    /// Per-rail data-frame transmission counts.
+    rail_frames: Vec<u64>,
+    /// Per-rail retransmission counts.
+    rail_retransmits: Vec<u64>,
+}
+
+/// Bound on concurrently active spans; beyond it new issues are dropped
+/// (counted) rather than growing memory without limit.
+const MAX_ACTIVE: usize = 1 << 16;
+
+impl SpanState {
+    fn rail(&mut self, rail: u32) -> usize {
+        let r = rail as usize;
+        while self.rail_queue.len() <= r {
+            self.rail_queue.push(LogHistogram::new());
+            self.rail_frames.push(0);
+            self.rail_retransmits.push(0);
+        }
+        r
+    }
+}
+
+fn recv_key(node: usize, conn: usize) -> u64 {
+    ((node as u64) << 16) | (conn as u64 & 0xFFFF)
+}
+
+/// Cheaply cloneable span-recording handle (the [`crate::Tracer`] pattern:
+/// disabled = one branch per call, enabled clones share one state).
+#[derive(Clone, Default)]
+pub struct SpanRecorder {
+    inner: Option<Rc<RefCell<SpanState>>>,
+}
+
+impl SpanRecorder {
+    /// A recorder that records nothing (the production default).
+    pub fn disabled() -> Self {
+        SpanRecorder { inner: None }
+    }
+
+    /// A recorder keeping the latest `completed_capacity` finished spans.
+    pub fn enabled(completed_capacity: usize) -> Self {
+        SpanRecorder {
+            inner: Some(Rc::new(RefCell::new(SpanState {
+                active: SpanMap::default(),
+                waiters: SpanMap::default(),
+                done: VecDeque::with_capacity(completed_capacity.max(1)),
+                done_cap: completed_capacity.max(1),
+                completed_total: 0,
+                overwritten: 0,
+                dropped_active: 0,
+                rail_queue: Vec::new(),
+                rail_frames: Vec::new(),
+                rail_retransmits: Vec::new(),
+            }))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// An operation was issued: open its span. `created_ns` is when the
+    /// application called in (the handle's latency origin); `now_ns` is when
+    /// initiation finished and frames were queued.
+    pub fn op_issued(
+        &self,
+        key: SpanKey,
+        kind: SpanKind,
+        created_ns: u64,
+        now_ns: u64,
+        frames: u32,
+        bytes: u64,
+    ) {
+        let Some(state) = &self.inner else { return };
+        let mut s = state.borrow_mut();
+        if s.active.len() >= MAX_ACTIVE {
+            s.dropped_active += 1;
+            return;
+        }
+        s.active.insert(
+            key.pack(),
+            OpSpan::new(key, kind, created_ns, now_ns, frames, bytes),
+        );
+    }
+
+    /// A data-bearing frame of the op went to a NIC. `critical` marks the
+    /// leg's completing frame (LAST_FRAGMENT / read request); `queue_ns` is
+    /// the NIC's transmit backlog at submission.
+    #[allow(clippy::too_many_arguments)]
+    pub fn frame_tx(
+        &self,
+        key: SpanKey,
+        leg: Leg,
+        critical: bool,
+        retransmit: bool,
+        rail: u32,
+        queue_ns: u64,
+        now_ns: u64,
+    ) {
+        let Some(state) = &self.inner else { return };
+        let mut s = state.borrow_mut();
+        let r = s.rail(rail);
+        s.rail_queue[r].record(queue_ns);
+        s.rail_frames[r] += 1;
+        if retransmit {
+            s.rail_retransmits[r] += 1;
+        }
+        let Some(span) = s.active.get_mut(&key.pack()) else {
+            return;
+        };
+        span.rails_used |= 1u32.checked_shl(rail).unwrap_or(0);
+        if retransmit {
+            span.retransmits += 1;
+        }
+        if !critical {
+            return;
+        }
+        match leg {
+            Leg::Req if span.admit == 0 => {
+                if span.first_tx == 0 {
+                    span.first_tx = now_ns;
+                }
+                span.last_tx = now_ns;
+                span.tx_queue = queue_ns;
+                span.crit_rail = rail;
+            }
+            Leg::Resp if span.resp_admit == 0 => {
+                if span.resp_first_tx == 0 {
+                    span.resp_first_tx = now_ns;
+                }
+                span.resp_last_tx = now_ns;
+                span.resp_queue = queue_ns;
+                span.resp_rail = rail;
+            }
+            _ => {}
+        }
+    }
+
+    /// The leg's critical frame was delivered by the receiving NIC
+    /// (pre-admission; the latest delivery before admission wins).
+    pub fn frame_arrival(&self, key: SpanKey, leg: Leg, now_ns: u64) {
+        self.with_span(key, |span| match leg {
+            Leg::Req => {
+                if span.admit == 0 {
+                    span.arrival = now_ns;
+                }
+            }
+            Leg::Resp => {
+                if span.resp_admit == 0 {
+                    span.resp_arrival = now_ns;
+                }
+            }
+        });
+    }
+
+    /// The leg's critical frame was admitted by the sequence tracker.
+    pub fn frame_admitted(&self, key: SpanKey, leg: Leg, now_ns: u64) {
+        self.with_span(key, |span| match leg {
+            Leg::Req => {
+                if span.admit == 0 {
+                    span.admit = now_ns;
+                }
+            }
+            Leg::Resp => {
+                if span.resp_admit == 0 {
+                    span.resp_admit = now_ns;
+                }
+            }
+        });
+    }
+
+    /// Register a write op (its last frame just admitted at the receiver
+    /// endpoint `(node, conn)` with sequence `last_seq`) to be stamped when
+    /// the cumulative sequence, then an outgoing ack, pass it.
+    pub fn await_cum(&self, node: usize, conn: usize, last_seq: u64, key: SpanKey) {
+        let Some(state) = &self.inner else { return };
+        let mut s = state.borrow_mut();
+        s.waiters
+            .entry(recv_key(node, conn))
+            .or_default()
+            .await_cum
+            .push_back((last_seq, key.pack()));
+    }
+
+    /// The receiver endpoint's cumulative sequence advanced to `cum`: stamp
+    /// the `cum` milestone of every waiting op whose last frame it passed
+    /// and move them to the ack queue.
+    pub fn cum_advanced(&self, node: usize, conn: usize, cum: u64, now_ns: u64) {
+        let Some(state) = &self.inner else { return };
+        let mut s = state.borrow_mut();
+        let rk = recv_key(node, conn);
+        let Some(w) = s.waiters.get_mut(&rk) else {
+            return;
+        };
+        if w.await_cum.is_empty() {
+            return;
+        }
+        // Admission order is not sequence order under multi-rail skew, so
+        // scan rather than pop from the front. The queue is bounded by the
+        // ops concurrently inside one window — small by construction.
+        let mut i = 0;
+        let mut passed: Vec<(u64, u64)> = Vec::new();
+        while i < w.await_cum.len() {
+            if w.await_cum[i].0 < cum {
+                passed.push(w.await_cum.remove(i).expect("index checked"));
+            } else {
+                i += 1;
+            }
+        }
+        for &(seq, pk) in &passed {
+            if let Some(span) = s.active.get_mut(&pk) {
+                if span.cum == 0 {
+                    span.cum = now_ns;
+                }
+            }
+            s.waiters
+                .get_mut(&rk)
+                .expect("waiters entry exists")
+                .await_ack
+                .push_back((seq, pk));
+        }
+    }
+
+    /// The receiver endpoint sent an acknowledgement (piggybacked, explicit
+    /// or on a NACK) covering sequences below `ack`: stamp `ack_tx` for
+    /// every op it newly covers.
+    pub fn ack_sent(&self, node: usize, conn: usize, ack: u64, now_ns: u64) {
+        let Some(state) = &self.inner else { return };
+        let mut s = state.borrow_mut();
+        let Some(w) = s.waiters.get_mut(&recv_key(node, conn)) else {
+            return;
+        };
+        if w.await_ack.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        let mut covered: Vec<u64> = Vec::new();
+        while i < w.await_ack.len() {
+            if w.await_ack[i].0 < ack {
+                covered.push(w.await_ack.remove(i).expect("index checked").1);
+            } else {
+                i += 1;
+            }
+        }
+        for pk in covered {
+            if let Some(span) = s.active.get_mut(&pk) {
+                if span.ack_tx == 0 {
+                    span.ack_tx = now_ns;
+                }
+            }
+        }
+    }
+
+    /// The sender's window advanced past the op (the covering ack arrived).
+    pub fn ack_rx(&self, key: SpanKey, now_ns: u64) {
+        self.with_span(key, |span| {
+            if span.ack_rx == 0 {
+                span.ack_rx = now_ns;
+            }
+        });
+    }
+
+    /// The read's target began serving the response.
+    pub fn serve_started(&self, key: SpanKey, now_ns: u64) {
+        self.with_span(key, |span| {
+            if span.serve == 0 {
+                span.serve = now_ns;
+            }
+        });
+    }
+
+    /// All of the read's response data applied at the initiator.
+    pub fn resp_released(&self, key: SpanKey, now_ns: u64) {
+        self.with_span(key, |span| {
+            if span.released == 0 {
+                span.released = now_ns;
+            }
+        });
+    }
+
+    /// A fence held the op's request leg back for `stalled_ns` before its
+    /// completion path could proceed (reads: the request at the target).
+    pub fn fence_req(&self, key: SpanKey, stalled_ns: u64) {
+        self.with_span(key, |span| span.fence_req_ns += stalled_ns);
+    }
+
+    /// A fence held the response leg back (reads: the response at the
+    /// initiator).
+    pub fn fence_resp(&self, key: SpanKey, stalled_ns: u64) {
+        self.with_span(key, |span| span.fence_resp_ns += stalled_ns);
+    }
+
+    /// Write-only, informational: the receiver fully applied the op's data
+    /// after `recv_fence_ns` of fence hold.
+    pub fn delivered(&self, key: SpanKey, now_ns: u64, recv_fence_ns: u64) {
+        self.with_span(key, |span| {
+            if span.delivered == 0 {
+                span.delivered = now_ns;
+            }
+            span.recv_fence_ns += recv_fence_ns;
+        });
+    }
+
+    /// The op's handle completed: close the span and move it to the
+    /// completed ring.
+    pub fn op_completed(&self, key: SpanKey, now_ns: u64) {
+        let Some(state) = &self.inner else { return };
+        let mut s = state.borrow_mut();
+        let Some(mut span) = s.active.remove(&key.pack()) else {
+            return;
+        };
+        span.complete = now_ns;
+        s.completed_total += 1;
+        if s.done.len() == s.done_cap {
+            s.done.pop_front();
+            s.overwritten += 1;
+        }
+        s.done.push_back(span);
+    }
+
+    fn with_span(&self, key: SpanKey, f: impl FnOnce(&mut OpSpan)) {
+        if let Some(state) = &self.inner {
+            if let Some(span) = state.borrow_mut().active.get_mut(&key.pack()) {
+                f(span);
+            }
+        }
+    }
+
+    /// Copy the current state out for analysis; `None` when disabled.
+    pub fn snapshot(&self) -> Option<SpanSnapshot> {
+        self.inner.as_ref().map(|state| {
+            let s = state.borrow();
+            SpanSnapshot {
+                spans: s.done.iter().copied().collect(),
+                active: s.active.len() as u64,
+                completed_total: s.completed_total,
+                overwritten: s.overwritten,
+                dropped_active: s.dropped_active,
+                rail_queue: s.rail_queue.clone(),
+                rail_frames: s.rail_frames.clone(),
+                rail_retransmits: s.rail_retransmits.clone(),
+            }
+        })
+    }
+}
+
+/// An owned copy of everything a [`SpanRecorder`] holds.
+#[derive(Debug, Clone)]
+pub struct SpanSnapshot {
+    /// Retained completed spans, oldest first.
+    pub spans: Vec<OpSpan>,
+    /// Spans still in flight at snapshot time.
+    pub active: u64,
+    /// Total completed spans ever (≥ `spans.len()`).
+    pub completed_total: u64,
+    /// Completed spans lost to the ring bound.
+    pub overwritten: u64,
+    /// Issues dropped because the active bound was hit.
+    pub dropped_active: u64,
+    /// Per-rail NIC transmit-backlog histograms (all data transmissions).
+    pub rail_queue: Vec<LogHistogram>,
+    /// Per-rail data-frame transmission counts.
+    pub rail_frames: Vec<u64>,
+    /// Per-rail retransmission counts.
+    pub rail_retransmits: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(op: u32) -> SpanKey {
+        SpanKey::new(0, 0, op)
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = SpanRecorder::disabled();
+        assert!(!r.is_enabled());
+        r.op_issued(k(0), SpanKind::Write, 1, 2, 1, 10);
+        r.op_completed(k(0), 9);
+        assert!(r.snapshot().is_none());
+    }
+
+    #[test]
+    fn key_packs_round_trip() {
+        let key = SpanKey::new(3, 7, 0xdead_beef);
+        assert_eq!(SpanKey::unpack(key.pack()), key);
+    }
+
+    #[test]
+    fn write_span_full_milestone_chain() {
+        let r = SpanRecorder::enabled(8);
+        let key = k(0);
+        r.op_issued(key, SpanKind::Write, 100, 150, 2, 3000);
+        r.frame_tx(key, Leg::Req, false, false, 0, 5, 160);
+        r.frame_tx(key, Leg::Req, true, false, 1, 7, 170);
+        r.frame_arrival(key, Leg::Req, 300);
+        r.frame_admitted(key, Leg::Req, 310);
+        r.await_cum(1, 0, 1, key);
+        r.cum_advanced(1, 0, 2, 310);
+        r.ack_sent(1, 0, 2, 320);
+        r.ack_rx(key, 450);
+        r.op_completed(key, 460);
+        let snap = r.snapshot().unwrap();
+        assert_eq!(snap.spans.len(), 1);
+        let s = &snap.spans[0];
+        assert_eq!(
+            (s.created, s.issue, s.first_tx, s.last_tx),
+            (100, 150, 170, 170)
+        );
+        assert_eq!((s.arrival, s.admit, s.cum), (300, 310, 310));
+        assert_eq!((s.ack_tx, s.ack_rx, s.complete), (320, 450, 460));
+        assert_eq!(s.crit_rail, 1);
+        assert_eq!(s.rails_used, 0b11);
+        assert_eq!(s.tx_queue, 7);
+        assert_eq!(snap.rail_frames, vec![1, 1]);
+    }
+
+    #[test]
+    fn retransmit_updates_last_tx_until_admit() {
+        let r = SpanRecorder::enabled(8);
+        let key = k(1);
+        r.op_issued(key, SpanKind::Write, 0, 10, 1, 100);
+        r.frame_tx(key, Leg::Req, true, false, 0, 0, 20);
+        r.frame_tx(key, Leg::Req, true, true, 0, 3, 80);
+        r.frame_arrival(key, Leg::Req, 120);
+        r.frame_admitted(key, Leg::Req, 125);
+        // Post-admission duplicate must not move the frozen milestones.
+        r.frame_tx(key, Leg::Req, true, true, 0, 9, 200);
+        r.op_completed(key, 300);
+        let s = r.snapshot().unwrap().spans[0];
+        assert_eq!((s.first_tx, s.last_tx, s.tx_queue), (20, 80, 3));
+        assert_eq!(s.retransmits, 2);
+        assert_eq!(r.snapshot().unwrap().rail_retransmits, vec![2]);
+    }
+
+    #[test]
+    fn cum_advance_handles_out_of_order_admission() {
+        let r = SpanRecorder::enabled(8);
+        let (ka, kb) = (k(10), k(11));
+        r.op_issued(ka, SpanKind::Write, 0, 1, 1, 1);
+        r.op_issued(kb, SpanKind::Write, 0, 2, 1, 1);
+        // Op B (seq 5) admits before op A (seq 3).
+        r.await_cum(2, 0, 5, kb);
+        r.await_cum(2, 0, 3, ka);
+        r.cum_advanced(2, 0, 4, 100); // passes A only
+        r.cum_advanced(2, 0, 6, 200); // passes B
+        r.ack_sent(2, 0, 6, 250);
+        r.ack_rx(ka, 300);
+        r.ack_rx(kb, 300);
+        r.op_completed(ka, 310);
+        r.op_completed(kb, 310);
+        let snap = r.snapshot().unwrap();
+        let a = snap.spans.iter().find(|s| s.key == ka).unwrap();
+        let b = snap.spans.iter().find(|s| s.key == kb).unwrap();
+        assert_eq!((a.cum, b.cum), (100, 200));
+        assert_eq!((a.ack_tx, b.ack_tx), (250, 250));
+    }
+
+    #[test]
+    fn done_ring_is_bounded() {
+        let r = SpanRecorder::enabled(2);
+        for op in 0..5u32 {
+            r.op_issued(k(op), SpanKind::Write, 0, 1, 1, 1);
+            r.op_completed(k(op), 10);
+        }
+        let snap = r.snapshot().unwrap();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.completed_total, 5);
+        assert_eq!(snap.overwritten, 3);
+        assert_eq!(snap.spans[0].key, k(3));
+        assert_eq!(snap.spans[1].key, k(4));
+    }
+}

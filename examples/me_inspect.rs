@@ -1,0 +1,216 @@
+//! `me-inspect`: render a flight-recorder post-mortem dump as a
+//! human-readable event timeline plus a critical-path phase breakdown.
+//!
+//! Run with a dump produced by a `FlightConfig { dump_dir: Some(..) }` run:
+//!
+//! ```text
+//! cargo run --release --bin me-inspect -- results/flight_0_rail_death.json
+//! ```
+//!
+//! With no argument it demonstrates the whole loop end to end: it runs a
+//! two-rail transfer through a scripted rail outage with the always-on
+//! flight recorder enabled, lets the rail-death trigger take its dump, and
+//! renders that dump — so the example is self-contained.
+//!
+//! Set `ME_INSPECT_ALL=1` to print every retained event instead of the
+//! trailing window.
+
+use me_trace::{FlightConfig, Json};
+use multiedge::{Endpoint, OpFlags, SystemConfig};
+use netsim::time::ms;
+use netsim::{build_cluster, FaultPlan, Sim};
+use std::rc::Rc;
+
+fn main() {
+    let doc = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("me-inspect: cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match Json::parse(&text) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("me-inspect: {path} is not a flight dump: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => demo_dump(),
+    };
+    render(&doc);
+}
+
+/// Run a rail outage under the flight recorder and return its dump.
+fn demo_dump() -> Json {
+    println!("no dump given; running a two-rail outage demo\n");
+    let cfg = SystemConfig::two_link_1g_unordered(2)
+        .with_spans(1 << 12)
+        .with_flight(FlightConfig::default());
+    let sim = Sim::new(cfg.seed);
+    let cluster = build_cluster(&sim, cfg.cluster_spec());
+    let cfg = Rc::new(cfg);
+    let eps = Endpoint::for_cluster(&sim, &cluster, cfg);
+    let plan = FaultPlan::new().rail_down(ms(4), 1).rail_up(ms(80), 1);
+    cluster.apply_fault_plan(&sim, &plan);
+    let (c0, _c1) = Endpoint::connect(&eps[0], &eps[1]);
+    let a = eps[0].clone();
+    sim.spawn("demo-writer", async move {
+        let mut handles = Vec::new();
+        for i in 0..48usize {
+            let h = a
+                .write_bytes(c0, (i * 0x10000) as u64, vec![i as u8; 64 << 10], OpFlags::RELAXED)
+                .await;
+            handles.push(h);
+        }
+        for h in handles {
+            h.wait().await;
+        }
+    });
+    sim.run().expect_quiescent();
+    let fr = eps[0].flight_recorder();
+    let dumps = fr.dumps();
+    match dumps.into_iter().next() {
+        Some(d) => d.json,
+        // The outage normally triggers a rail-death dump; fall back to a
+        // forced one so the demo always renders something.
+        None => fr
+            .force_dump(sim.now().as_nanos())
+            .expect("flight recorder enabled"),
+    }
+}
+
+fn render(doc: &Json) {
+    if doc.get("kind").and_then(|k| k.as_str()) != Some("multiedge_flight_dump") {
+        eprintln!("me-inspect: input is JSON but not a multiedge_flight_dump");
+        std::process::exit(1);
+    }
+    let s = |k: &str| doc.get(k).and_then(|v| v.as_str()).unwrap_or("?").to_string();
+    let n = |k: &str| doc.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    println!("flight dump  trigger={}  at {}", s("trigger"), fmt_ns(n("t_ns")));
+    println!(
+        "events: {} recorded, {} retained in ring",
+        n("events_total"),
+        n("events_retained")
+    );
+
+    if let Some(events) = doc.get("events").and_then(|e| e.items()) {
+        let all = std::env::var("ME_INSPECT_ALL").is_ok();
+        let window = 120usize;
+        let start = if all || events.len() <= window {
+            0
+        } else {
+            println!("… {} earlier events elided (ME_INSPECT_ALL=1 shows all)", events.len() - window);
+            events.len() - window
+        };
+        println!("\n  {:>12}  {:<13} {:<14} detail", "t", "event", "where");
+        let mut prev = None;
+        for e in &events[start..] {
+            print_event(e, &mut prev);
+        }
+    }
+
+    if let Some(att) = doc.get("attribution") {
+        println!("\ncritical-path attribution (completed ops at dump time)");
+        if let Some(overall) = att.get("overall") {
+            print_rollup("overall", overall);
+        }
+        for (name, r) in att.get("per_conn").and_then(|c| c.entries()).unwrap_or(&[]) {
+            print_rollup(name, r);
+        }
+        for (name, r) in att.get("per_rail").and_then(|c| c.entries()).unwrap_or(&[]) {
+            print_rollup(name, r);
+            let f = |k: &str| r.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+            println!(
+                "    {} frames tx, {} retransmitted, nic queue p50 {} p99 {}",
+                f("frames_tx"),
+                f("frames_retransmitted"),
+                fmt_ns(f("nic_queue_p50_ns")),
+                fmt_ns(f("nic_queue_p99_ns")),
+            );
+        }
+        let overwritten = att.get("spans_overwritten").and_then(|v| v.as_u64()).unwrap_or(0);
+        if overwritten > 0 {
+            println!("  (span ring wrapped: {overwritten} completed ops not attributed)");
+        }
+    }
+}
+
+/// One timeline line: time, inter-event gap, code, location, decoded payload.
+fn print_event(e: &Json, prev: &mut Option<u64>) {
+    let t = e.get("t_ns").and_then(|v| v.as_u64()).unwrap_or(0);
+    let code = e.get("code").and_then(|v| v.as_str()).unwrap_or("?");
+    let a = e.get("a").and_then(|v| v.as_u64()).unwrap_or(0);
+    let b = e.get("b").and_then(|v| v.as_u64()).unwrap_or(0);
+    let node = e.get("node").and_then(|v| v.as_u64()).unwrap_or(0);
+    let mut place = format!("n{node}");
+    if let Some(c) = e.get("conn").and_then(|v| v.as_u64()) {
+        place.push_str(&format!(" c{c}"));
+    }
+    if let Some(r) = e.get("rail").and_then(|v| v.as_u64()) {
+        place.push_str(&format!(" r{r}"));
+    }
+    let detail = match code {
+        "op_issue" => format!("op {a}  {b} bytes"),
+        "op_complete" => format!("op {a}  latency {}", fmt_ns(b)),
+        "frame_send" => format!("seq {a}{}", if b != 0 { "  RETRANSMIT" } else { "" }),
+        "frame_recv" => format!("seq {a}{}", if b == 0 { "  out-of-order" } else { "" }),
+        "frame_drop" | "frame_corrupt" => format!("link {a}"),
+        "ack_explicit" => format!("cum {a}"),
+        "nack" => format!("cum {a}  {b} gap(s)"),
+        "rto_fire" => format!("seq {a}"),
+        "rto_backoff" => format!("rto {}  exponent {b}", fmt_ns(a)),
+        "fence_release" => format!("op {a}  stalled {}", fmt_ns(b)),
+        "fault_injected" => format!("action {a}"),
+        _ => String::new(),
+    };
+    let gap = prev.map_or(String::new(), |p| format!("  (+{})", fmt_ns(t.saturating_sub(p))));
+    *prev = Some(t);
+    println!("  {:>12}  {:<13} {:<14} {detail}{gap}", fmt_ns(t), code, place);
+}
+
+/// Rollup summary: latency percentiles, then phases sorted by share.
+fn print_rollup(name: &str, r: &Json) {
+    let n = |k: &str| r.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    println!(
+        "  {name}: {} ops, {} bytes, {} retransmits, latency p50 {} p99 {}",
+        n("ops"),
+        n("bytes"),
+        n("retransmits"),
+        fmt_ns(n("latency_p50_ns")),
+        fmt_ns(n("latency_p99_ns")),
+    );
+    let Some(phases) = r.get("phases").and_then(|p| p.entries()) else {
+        return;
+    };
+    let mut rows: Vec<(&str, u64, f64)> = phases
+        .iter()
+        .map(|(k, v)| {
+            (
+                k.as_str(),
+                v.get("total_ns").and_then(|x| x.as_u64()).unwrap_or(0),
+                v.get("fraction").and_then(|x| x.as_f64()).unwrap_or(0.0),
+            )
+        })
+        .filter(|(_, total, _)| *total > 0)
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+    for (label, total, frac) in rows {
+        let bar = "#".repeat((frac * 40.0).round() as usize);
+        println!("    {label:<13} {:>10}  {:>5.1}%  {bar}", fmt_ns(total), frac * 100.0);
+    }
+}
+
+/// Adaptive time unit: ns under 1 µs, µs under 1 ms, else ms.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    }
+}
