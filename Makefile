@@ -4,7 +4,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke bench-attribution bench-attribution-smoke test-flight
+.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke bench-attribution bench-attribution-smoke test-flight triage-check triage-smoke triage-baseline
 
 verify: build test doc clippy
 
@@ -64,3 +64,23 @@ bench-attribution-smoke:
 # randomized mixed workloads, loss and fences.
 test-flight:
 	$(CARGO) test $(OFFLINE) -p integration-tests --test flight_recorder --test attribution_properties
+
+# Regression triage gate: re-run the full-profile triage cells and diff
+# their attribution against the committed baselines in results/baselines/.
+# Fails with a phase-naming verdict ("p99 regressed 18%, dominated by
+# +reorder (ordering)") when a cell moved past its noise bound; writes the
+# machine-readable report to results/BENCH_triage.json either way
+# (docs/OBSERVABILITY.md § Regression triage).
+triage-check:
+	$(CARGO) bench $(OFFLINE) -p multiedge-bench --bench triage
+
+# CI smoke flavour: the reduced cell sweep against its own baselines.
+triage-smoke:
+	TRIAGE_SMOKE=1 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench triage
+
+# Refresh the committed baselines for BOTH profiles after an intentional
+# performance change. Commit the rewritten results/baselines/*.json with
+# the change that moved the numbers.
+triage-baseline:
+	TRIAGE_BASELINE=1 TRIAGE_SMOKE=1 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench triage
+	TRIAGE_BASELINE=1 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench triage

@@ -12,7 +12,7 @@
 
 use me_stats::table::fmt_f;
 use me_stats::Table;
-use me_trace::{EventKind, Json, LogHistogram};
+use me_trace::{EventKind, Json, LogHistogram, SCHEMA_VERSION};
 use multiedge::{Endpoint, OpFlags, RailState, SystemConfig};
 use netsim::time::{ms, SimTime};
 use netsim::{build_cluster, FaultPlan, Sim};
@@ -208,6 +208,7 @@ fn main() {
     );
 
     let doc = Json::obj()
+        .set("schema_version", SCHEMA_VERSION)
         .set("bench", "ablation_failover")
         .set("config", "2Lu-1G")
         .set("fault_plan", format!("rail 1 down at {T_DOWN_MS} ms, up at {T_UP_MS} ms"))
@@ -237,10 +238,12 @@ fn main() {
                 .set("max", readmit.max()),
         )
         .set("runs", rows);
-    std::fs::create_dir_all("results").expect("create results dir");
-    let path = "results/BENCH_failover.json";
-    std::fs::write(path, doc.render_pretty()).expect("write json");
-    println!("wrote {path}");
+    // Manifest-relative so the artifact lands in the workspace-root
+    // results/ regardless of cargo's bench CWD.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::write(dir.join("BENCH_failover.json"), doc.render_pretty()).expect("write json");
+    println!("wrote results/BENCH_failover.json");
 
     // A 1-GbE rail tops out at 125 MB/s: the during-phase must converge to
     // single-rail goodput (not stall), and the surrounding phases must

@@ -17,7 +17,7 @@
 //! `ATTRIBUTION_SMOKE=1` runs a reduced sweep (CI); the JSON is written in
 //! both modes and the bench asserts every cell reconciles.
 
-use me_trace::{analyze, Json, PhaseBreakdown, SpanSnapshot, TraceSnapshot};
+use me_trace::{analyze, Json, PhaseBreakdown, SpanSnapshot, TraceSnapshot, SCHEMA_VERSION};
 use multiedge::{Endpoint, OpFlags, ProtoStats, SystemConfig};
 use multiedge_bench::{run_micro, MicroKind};
 use netsim::sync::join_all;
@@ -228,6 +228,7 @@ fn main() {
     all_ok &= ok;
 
     let doc = Json::obj()
+        .set("schema_version", SCHEMA_VERSION)
         .set("bench", "attribution")
         .set("smoke", smoke)
         .set(

@@ -43,7 +43,7 @@
 //! operation costs (both grid columns add exactly K operations per
 //! direction), leaving only the cost that scales with the number of frames.
 
-use me_trace::Json;
+use me_trace::{Json, SCHEMA_VERSION};
 use multiedge::SystemConfig;
 use multiedge_bench::micro::{run_micro, MicroKind};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -288,6 +288,7 @@ fn main() {
     if baseline_mode {
         write_baseline_tsv(&rows);
         let doc = Json::obj()
+            .set("schema_version", SCHEMA_VERSION)
             .set("bench", "datapath")
             .set("mode", "baseline")
             .set("kind", "two-way")
@@ -338,6 +339,7 @@ fn main() {
     enforce_alloc_gate(&rows);
 
     let doc = Json::obj()
+        .set("schema_version", SCHEMA_VERSION)
         .set("bench", "datapath")
         .set("kind", "two-way")
         .set("iters", iters)

@@ -5,7 +5,7 @@
 //! section proving the event trace and the `ProtoStats` counters agree.
 
 use me_trace::report::{hist_to_json, snapshot_to_json, summary};
-use me_trace::{EventKind, Json};
+use me_trace::{EventKind, Json, SCHEMA_VERSION};
 use multiedge::{ProtoStats, SystemConfig};
 use multiedge_bench::{run_micro, MicroKind, MicroResult};
 
@@ -160,12 +160,16 @@ fn main() {
         all_ok &= ok;
     }
     let doc = Json::obj()
+        .set("schema_version", SCHEMA_VERSION)
         .set("bench", "trace_pingpong")
         .set("cells", cells)
         .set("all_reconcile", all_ok);
-    std::fs::create_dir_all("results").expect("create results dir");
-    let path = "results/BENCH_trace_pingpong.json";
-    std::fs::write(path, doc.render_pretty()).expect("write json");
-    println!("wrote {path} (all_reconcile={all_ok})");
+    // Manifest-relative so the artifact lands in the workspace-root
+    // results/ regardless of cargo's bench CWD.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::write(dir.join("BENCH_trace_pingpong.json"), doc.render_pretty())
+        .expect("write json");
+    println!("wrote results/BENCH_trace_pingpong.json (all_reconcile={all_ok})");
     assert!(all_ok, "trace/ProtoStats reconciliation failed");
 }

@@ -9,6 +9,7 @@
 
 pub mod appfig;
 pub mod micro;
+pub mod triage;
 
 pub use appfig::{app_figure, workloads_for_env};
 pub use micro::{default_iters, fig2_sizes, run_micro, run_micro_with_plan, MicroKind, MicroResult};

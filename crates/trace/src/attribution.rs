@@ -232,7 +232,9 @@ impl PhaseRollup {
         self.phase_total_ns.iter().sum()
     }
 
-    /// Render as JSON (totals, per-phase totals/fractions, percentiles).
+    /// Render as JSON (totals, per-phase totals/fractions, percentiles,
+    /// and the full histograms so two artifacts can be diffed or merged
+    /// without re-running the workload).
     pub fn to_json(&self) -> Json {
         let mut phases = Json::obj();
         for (i, p) in PHASES.iter().enumerate() {
@@ -250,7 +252,8 @@ impl PhaseRollup {
                         },
                     )
                     .set("p50_ns", h.percentile(50.0))
-                    .set("p99_ns", h.percentile(99.0)),
+                    .set("p99_ns", h.percentile(99.0))
+                    .set("hist", h.to_json()),
             );
         }
         Json::obj()
@@ -261,7 +264,52 @@ impl PhaseRollup {
             .set("phase_sum_ns", self.phase_sum_ns())
             .set("latency_p50_ns", self.latency_hist.percentile(50.0))
             .set("latency_p99_ns", self.latency_hist.percentile(99.0))
+            .set("latency_hist", self.latency_hist.to_json())
             .set("phases", phases)
+    }
+
+    /// Rebuild a rollup from [`PhaseRollup::to_json`] output (the
+    /// histogram round-trip is exact, so percentiles and merges behave
+    /// identically to the original in-memory rollup). Derived fields
+    /// (fractions, percentiles) are recomputed, not read back.
+    pub fn from_json(j: &Json) -> Result<PhaseRollup, String> {
+        let num = |k: &str| {
+            j.get(k)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("rollup: missing field '{k}'"))
+        };
+        let mut r = PhaseRollup {
+            ops: num("ops")?,
+            bytes: num("bytes")?,
+            retransmits: num("retransmits")?,
+            latency_total_ns: num("latency_total_ns")?,
+            latency_hist: LogHistogram::from_json(
+                j.get("latency_hist").ok_or("rollup: missing latency_hist")?,
+            )?,
+            ..PhaseRollup::default()
+        };
+        let phases = j.get("phases").ok_or("rollup: missing phases")?;
+        for (i, p) in PHASES.iter().enumerate() {
+            let pj = phases
+                .get(p.label())
+                .ok_or_else(|| format!("rollup: missing phase '{}'", p.label()))?;
+            r.phase_total_ns[i] = pj
+                .get("total_ns")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("rollup: phase '{}' missing total_ns", p.label()))?;
+            r.phase_hist[i] = LogHistogram::from_json(
+                pj.get("hist")
+                    .ok_or_else(|| format!("rollup: phase '{}' missing hist", p.label()))?,
+            )?;
+        }
+        if r.phase_sum_ns() != r.latency_total_ns {
+            return Err(format!(
+                "rollup: phase totals sum to {}, latency_total_ns is {}",
+                r.phase_sum_ns(),
+                r.latency_total_ns
+            ));
+        }
+        Ok(r)
     }
 }
 
@@ -312,6 +360,38 @@ pub fn analyze(snap: &SpanSnapshot) -> Attribution {
 }
 
 impl Attribution {
+    /// Merge another attribution in (all rollups and per-rail counters are
+    /// bucket-wise / element-wise additive). The triage runner uses this to
+    /// fold multiple seeds of the same cell into one mergeable document.
+    pub fn merge(&mut self, other: &Attribution) {
+        self.overall.merge(&other.overall);
+        for (k, r) in &other.per_conn {
+            self.per_conn.entry(*k).or_default().merge(r);
+        }
+        for (k, r) in &other.per_rail {
+            self.per_rail.entry(*k).or_default().merge(r);
+        }
+        if self.rail_queue.len() < other.rail_queue.len() {
+            self.rail_queue.resize(other.rail_queue.len(), LogHistogram::new());
+        }
+        for (h, o) in self.rail_queue.iter_mut().zip(&other.rail_queue) {
+            h.merge(o);
+        }
+        if self.rail_frames.len() < other.rail_frames.len() {
+            self.rail_frames.resize(other.rail_frames.len(), 0);
+        }
+        for (f, o) in self.rail_frames.iter_mut().zip(&other.rail_frames) {
+            *f += o;
+        }
+        if self.rail_retransmits.len() < other.rail_retransmits.len() {
+            self.rail_retransmits.resize(other.rail_retransmits.len(), 0);
+        }
+        for (f, o) in self.rail_retransmits.iter_mut().zip(&other.rail_retransmits) {
+            *f += o;
+        }
+        self.overwritten += other.overwritten;
+    }
+
     /// Render the whole attribution as a JSON object.
     pub fn to_json(&self) -> Json {
         let mut conns = Json::obj();
@@ -450,6 +530,63 @@ mod tests {
         assert_eq!(merged.phase_total_ns, seq.phase_total_ns);
         assert_eq!(merged.latency_hist, seq.latency_hist);
         assert_eq!(merged.phase_sum_ns(), merged.latency_total_ns);
+    }
+
+    #[test]
+    fn rollup_json_round_trip_is_exact() {
+        let r = SpanRecorder::enabled(4);
+        let key = k(0);
+        r.op_issued(key, SpanKind::Write, 100, 180, 1, 4096);
+        r.frame_tx(key, Leg::Req, true, false, 0, 40, 250);
+        r.frame_arrival(key, Leg::Req, 1400);
+        r.frame_admitted(key, Leg::Req, 1450);
+        r.op_completed(key, 2200);
+        let mut roll = PhaseRollup::default();
+        roll.add(&PhaseBreakdown::from_span(&r.snapshot().unwrap().spans[0]));
+        let text = roll.to_json().render_pretty();
+        let back = PhaseRollup::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.ops, roll.ops);
+        assert_eq!(back.bytes, roll.bytes);
+        assert_eq!(back.latency_total_ns, roll.latency_total_ns);
+        assert_eq!(back.phase_total_ns, roll.phase_total_ns);
+        assert_eq!(back.latency_hist, roll.latency_hist);
+        assert_eq!(back.phase_hist, roll.phase_hist);
+        // Corrupting a phase total breaks the telescoping check.
+        let mut doc = Json::parse(&text).unwrap();
+        if let Json::Obj(fields) = &mut doc {
+            for (key, v) in fields.iter_mut() {
+                if key == "latency_total_ns" {
+                    *v = Json::from(1u64);
+                }
+            }
+        }
+        assert!(PhaseRollup::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn attribution_merge_matches_joint_analysis() {
+        let mk = |op: u32, lat: u64, rail: u32| {
+            let r = SpanRecorder::enabled(4);
+            let key = SpanKey::new(0, op as usize % 2, op);
+            r.op_issued(key, SpanKind::Write, 0, 10, 1, 100);
+            r.frame_tx(key, Leg::Req, true, false, rail, 5, 20);
+            r.frame_arrival(key, Leg::Req, lat / 2);
+            r.frame_admitted(key, Leg::Req, lat / 2 + 10);
+            r.op_completed(key, lat);
+            r.snapshot().unwrap()
+        };
+        let (s1, s2) = (mk(0, 1_000, 0), mk(1, 3_000, 1));
+        let mut merged = analyze(&s1);
+        merged.merge(&analyze(&s2));
+        assert_eq!(merged.overall.ops, 2);
+        assert_eq!(merged.per_conn.len(), 2);
+        assert_eq!(merged.per_rail.len(), 2);
+        assert_eq!(
+            merged.overall.latency_total_ns,
+            analyze(&s1).overall.latency_total_ns + analyze(&s2).overall.latency_total_ns
+        );
+        assert_eq!(merged.overall.phase_sum_ns(), merged.overall.latency_total_ns);
+        assert_eq!(merged.rail_frames, vec![1, 1]);
     }
 
     #[test]

@@ -346,6 +346,7 @@ impl FlightRecorder {
         }
 
         let mut doc = Json::obj()
+            .set("schema_version", crate::json::SCHEMA_VERSION)
             .set("kind", "multiedge_flight_dump")
             .set("trigger", trigger)
             .set("t_ns", t_ns)

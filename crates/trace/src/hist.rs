@@ -6,6 +6,8 @@
 //! histogram a flat 1920-slot array that merges with plain addition —
 //! exactly what per-connection rollups need.
 
+use crate::json::Json;
+
 /// Sub-bucket resolution: 32 linear sub-buckets per octave.
 const SUB_BITS: u32 = 5;
 const SUB: u64 = 1 << SUB_BITS;
@@ -148,6 +150,75 @@ impl LogHistogram {
             .map(|(i, &c)| (bucket_floor(i), c))
             .collect()
     }
+
+    /// Serialize for baseline/diff artifacts. Buckets are packed as a
+    /// compact `"floor:count,floor:count,…"` string — a nested array would
+    /// explode the pretty renderer (one line per element) and MB-scale
+    /// committed baselines. `min` is omitted when empty (the internal
+    /// sentinel `u64::MAX` is not exactly representable in JSON's f64).
+    /// Values must stay below 2^53 to round-trip exactly; nanosecond
+    /// durations do by a wide margin.
+    pub fn to_json(&self) -> Json {
+        let buckets = self
+            .nonzero_buckets()
+            .iter()
+            .map(|(f, c)| format!("{f}:{c}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut j = Json::obj().set("count", self.count).set("sum", self.sum);
+        if self.count > 0 {
+            j = j.set("min", self.min).set("max", self.max);
+        }
+        j.set("buckets", buckets)
+    }
+
+    /// Rebuild a histogram from [`LogHistogram::to_json`] output. Restores
+    /// the exact internal state (so `from_json(to_json(h)) == h`), checking
+    /// that every floor is a real bucket floor and that the bucket counts
+    /// sum to `count`.
+    pub fn from_json(j: &Json) -> Result<LogHistogram, String> {
+        let num = |k: &str| {
+            j.get(k)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("hist: missing field '{k}'"))
+        };
+        let count = num("count")?;
+        let mut h = LogHistogram::new();
+        if count == 0 {
+            return Ok(h);
+        }
+        let buckets = j
+            .get("buckets")
+            .and_then(|v| v.as_str())
+            .ok_or("hist: missing field 'buckets'")?;
+        let mut total = 0u64;
+        for pair in buckets.split(',').filter(|s| !s.is_empty()) {
+            let (floor, c) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("hist: malformed bucket '{pair}'"))?;
+            let floor: u64 = floor
+                .parse()
+                .map_err(|_| format!("hist: bad bucket floor '{floor}'"))?;
+            let c: u64 = c.parse().map_err(|_| format!("hist: bad bucket count '{c}'"))?;
+            let i = bucket_index(floor);
+            if bucket_floor(i) != floor {
+                return Err(format!("hist: {floor} is not a bucket floor"));
+            }
+            h.counts[i] += c;
+            total += c;
+        }
+        if total != count {
+            return Err(format!("hist: bucket counts sum to {total}, expected {count}"));
+        }
+        h.count = count;
+        h.sum = num("sum")?;
+        h.min = num("min")?;
+        h.max = num("max")?;
+        if h.min > h.max {
+            return Err(format!("hist: min {} above max {}", h.min, h.max));
+        }
+        Ok(h)
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +338,55 @@ mod tests {
         let mut e = LogHistogram::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 3, 33, 1_000, 27_500, 27_500, 1 << 33, (1 << 50) + 7] {
+            h.record(v);
+        }
+        let text = h.to_json().render_pretty();
+        let back = LogHistogram::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, h);
+        for p in [1.0, 50.0, 99.0] {
+            assert_eq!(back.percentile(p), h.percentile(p));
+        }
+    }
+
+    #[test]
+    fn json_round_trip_empty() {
+        let h = LogHistogram::new();
+        let j = h.to_json();
+        assert!(j.get("min").is_none(), "empty hist must omit min");
+        let back = LogHistogram::from_json(&j).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.min, u64::MAX, "empty sentinel restored");
+    }
+
+    #[test]
+    fn from_json_rejects_corrupt_documents() {
+        for (bad, why) in [
+            (Json::obj(), "missing count"),
+            (
+                Json::obj().set("count", 1u64).set("sum", 100u64).set("min", 100u64).set("max", 100u64),
+                "missing buckets",
+            ),
+            (
+                Json::obj().set("count", 1u64).set("sum", 100u64).set("min", 100u64).set("max", 100u64).set("buckets", "101:1"),
+                "non-floor bucket",
+            ),
+            (
+                Json::obj().set("count", 1u64).set("sum", 100u64).set("min", 100u64).set("max", 100u64).set("buckets", "96:2"),
+                "count/bucket mismatch",
+            ),
+            (
+                Json::obj().set("count", 1u64).set("sum", 100u64).set("min", 200u64).set("max", 100u64).set("buckets", "96:1"),
+                "min above max",
+            ),
+        ] {
+            assert!(LogHistogram::from_json(&bad).is_err(), "accepted: {why}");
+        }
     }
 
     #[test]

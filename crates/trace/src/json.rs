@@ -6,6 +6,32 @@
 //! parser that accepts exactly what the renderer emits (plus arbitrary
 //! whitespace), which is all the workspace ever needs to read.
 
+/// Schema version stamped into every JSON artifact the workspace emits
+/// (bench results, baselines, flight dumps, diff reports). Version 1 is the
+/// implicit pre-stamp era; version 2 added the stamp itself plus embedded
+/// histogram buckets in attribution rollups. Bump this whenever an emitted
+/// layout changes in a way existing consumers would silently mis-read.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Check an artifact's `schema_version` against [`SCHEMA_VERSION`].
+///
+/// Consumers that feed artifacts back through [`Json::parse`] (the triage
+/// differ, `me-inspect`, bench baseline loaders) call this first so a stale
+/// or future-format file fails loudly instead of being silently mis-read.
+pub fn require_schema(doc: &Json) -> Result<u64, String> {
+    match doc.get("schema_version").and_then(|v| v.as_u64()) {
+        Some(v) if v == SCHEMA_VERSION => Ok(v),
+        Some(v) => Err(format!(
+            "unsupported schema_version {v} (this build reads v{SCHEMA_VERSION}); \
+             regenerate the artifact with the matching build"
+        )),
+        None => Err(format!(
+            "artifact has no schema_version (predates v{SCHEMA_VERSION}); \
+             regenerate it with this build"
+        )),
+    }
+}
+
 /// A JSON value tree.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {
@@ -137,6 +163,14 @@ impl Json {
     pub fn items(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Boolean value; `None` on non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -482,6 +516,19 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "1 2", "\"unterminated", "nul"] {
             assert!(Json::parse(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn schema_gate_accepts_current_rejects_others() {
+        use super::{require_schema, SCHEMA_VERSION};
+        let ok = Json::obj().set("schema_version", SCHEMA_VERSION);
+        assert_eq!(require_schema(&ok), Ok(SCHEMA_VERSION));
+        let future = Json::obj().set("schema_version", SCHEMA_VERSION + 1);
+        let err = require_schema(&future).unwrap_err();
+        assert!(err.contains("unsupported schema_version"), "{err}");
+        let missing = Json::obj().set("kind", "anything");
+        let err = require_schema(&missing).unwrap_err();
+        assert!(err.contains("no schema_version"), "{err}");
     }
 
     #[test]

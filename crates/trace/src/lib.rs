@@ -47,6 +47,12 @@
 //!    JSON post-mortem dumps when triggers fire (RTO backoff past a
 //!    threshold, rail death, oversized fence stalls); `Json::parse` reads
 //!    the dumps back for the `me-inspect` tool.
+//! 7. **Regression triage** — [`diff`]: compares two attribution artifacts
+//!    (committed baselines, bench outputs, flight dumps) phase by phase
+//!    using the exactly round-tripped histograms, and emits a verdict that
+//!    names the phase and protocol layer that moved
+//!    ("p99 regressed 18%, dominated by +reorder (ordering)"); this is the
+//!    engine behind `me-inspect diff` and the `make triage-check` CI gate.
 //!
 //! ```
 //! use me_trace::{EventKind, Tracer};
@@ -68,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod attribution;
+pub mod diff;
 pub mod event;
 pub mod flight;
 pub mod hist;
@@ -78,10 +85,11 @@ pub mod span;
 mod tracer;
 
 pub use attribution::{analyze, Attribution, Phase, PhaseBreakdown, PhaseRollup, PHASES};
+pub use diff::{diff_cell, diff_docs, diff_rollups, CellDiff, DiffConfig, DiffReport, Verdict};
 pub use event::{Event, EventKind, FaultKind};
 pub use flight::{FlightCode, FlightConfig, FlightDump, FlightEvent, FlightRecorder};
 pub use hist::LogHistogram;
-pub use json::Json;
+pub use json::{require_schema, Json, SCHEMA_VERSION};
 pub use ring::EventRing;
 pub use span::{Leg, OpSpan, SpanKey, SpanKind, SpanRecorder, SpanSnapshot};
 pub use tracer::{TraceSnapshot, Tracer};

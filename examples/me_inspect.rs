@@ -1,10 +1,20 @@
 //! `me-inspect`: render a flight-recorder post-mortem dump as a
-//! human-readable event timeline plus a critical-path phase breakdown.
+//! human-readable event timeline plus a critical-path phase breakdown, and
+//! diff two attribution artifacts for regression triage.
 //!
-//! Run with a dump produced by a `FlightConfig { dump_dir: Some(..) }` run:
+//! Render a dump produced by a `FlightConfig { dump_dir: Some(..) }` run:
 //!
 //! ```text
 //! cargo run --release --bin me-inspect -- results/flight_0_rail_death.json
+//! ```
+//!
+//! Diff two attribution artifacts (baseline files, `BENCH_attribution.json`
+//! documents, or flight dumps with embedded attribution) — prints the
+//! per-cell phase-delta tables, exits 2 when any cell regressed, and emits
+//! the machine-readable report with `--json`:
+//!
+//! ```text
+//! cargo run --release --bin me-inspect -- diff old.json new.json [--json]
 //! ```
 //!
 //! With no argument it demonstrates the whole loop end to end: it runs a
@@ -15,33 +25,65 @@
 //! Set `ME_INSPECT_ALL=1` to print every retained event instead of the
 //! trailing window.
 
-use me_trace::{FlightConfig, Json};
+use me_trace::{diff_docs, DiffConfig, FlightConfig, Json};
 use multiedge::{Endpoint, OpFlags, SystemConfig};
 use netsim::time::ms;
 use netsim::{build_cluster, FaultPlan, Sim};
 use std::rc::Rc;
 
 fn main() {
-    let doc = match std::env::args().nth(1) {
-        Some(path) => {
-            let text = match std::fs::read_to_string(&path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("me-inspect: cannot read {path}: {e}");
-                    std::process::exit(1);
-                }
-            };
-            match Json::parse(&text) {
-                Ok(j) => j,
-                Err(e) => {
-                    eprintln!("me-inspect: {path} is not a flight dump: {e}");
-                    std::process::exit(1);
-                }
-            }
-        }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("diff") {
+        run_diff(&args[1..]);
+    }
+    let doc = match args.first() {
+        Some(path) => load(path),
         None => demo_dump(),
     };
     render(&doc);
+}
+
+fn load(path: &str) -> Json {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("me-inspect: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("me-inspect: {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `me-inspect diff <old> <new> [--json]`: exit 0 clean, 1 on usage or
+/// unreadable/mismatched artifacts, 2 when a cell regressed.
+fn run_diff(args: &[String]) -> ! {
+    let json_out = args.iter().any(|a| a == "--json");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: me-inspect diff <old.json> <new.json> [--json]");
+        std::process::exit(1);
+    };
+    let (old, new) = (load(old_path), load(new_path));
+    let cfg = DiffConfig::default();
+    let report = match diff_docs(&old, &new, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("me-inspect: cannot diff {old_path} vs {new_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if json_out {
+        print!("{}", report.to_json().render_pretty());
+    } else {
+        print!("{}", report.render_human(&cfg));
+    }
+    std::process::exit(if report.regressed() { 2 } else { 0 });
 }
 
 /// Run a rail outage under the flight recorder and return its dump.

@@ -6,7 +6,7 @@
 //! bit-for-bit reproducible from the config seed.
 
 use integration_tests::{payload, rig};
-use me_trace::EventKind;
+use me_trace::{EventKind, FlightConfig, FlightDump, Json};
 use multiedge::recvseq::{Admit, SeqTracker};
 use multiedge::{OpFlags, RailState, SystemConfig};
 use netsim::time::{ms, us, SimTime};
@@ -352,6 +352,133 @@ fn randomized_fault_schedules_deliver_exactly_once() {
             "seed {seed}: fault schedule not reproducible"
         );
     }
+}
+
+/// A scratch dump dir under the target tmpdir, cleaned per scenario.
+fn flight_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Arm the flight recorder (with exactly one trigger class enabled), stream
+/// a chunked transfer through `plan`, verify delivery, and return node 0's
+/// retained post-mortem dumps.
+fn soak_dumps(
+    cfg: SystemConfig,
+    fc: FlightConfig,
+    plan: FaultPlan,
+    total: usize,
+) -> Vec<FlightDump> {
+    let cfg = cfg.with_spans(1 << 13).with_flight(fc);
+    let (sim, cluster, eps, conns) = rig(cfg);
+    cluster.apply_fault_plan(&sim, &plan);
+    let c01 = conns[0][1].unwrap();
+    let data = payload(5, total);
+    let expect = data.clone();
+    let ep = eps[0].clone();
+    let done = sim.spawn("flight-writer", async move {
+        let chunk = 128 << 10;
+        let mut handles = Vec::new();
+        for (i, part) in data.chunks(chunk).enumerate() {
+            handles.push(
+                ep.write_bytes(c01, (i * chunk) as u64, part.to_vec(), OpFlags::RELAXED)
+                    .await,
+            );
+        }
+        for h in handles {
+            h.wait().await;
+        }
+    });
+    sim.run().expect_quiescent();
+    assert!(done.try_take().is_some(), "writer must finish");
+    assert_eq!(eps[1].mem_read(0, total), expect, "payload integrity");
+    eps[0].flight_recorder().dumps()
+}
+
+/// Artifact checks shared by every outage class: a dump fired with the
+/// expected trigger, its artifact file was written, parses back to the
+/// retained document, is schema-stamped, and carries a non-empty timeline.
+fn assert_dump_artifact(class: &str, dumps: &[FlightDump]) {
+    assert!(
+        !dumps.is_empty(),
+        "{class}: outage produced no post-mortem dump"
+    );
+    let dump = &dumps[0];
+    assert_eq!(dump.trigger, class, "wrong trigger class");
+    let path = dump.path.as_ref().expect("dump_dir set => artifact written");
+    let text = std::fs::read_to_string(path).expect("artifact readable");
+    let parsed = Json::parse(&text).expect("artifact is valid JSON");
+    assert_eq!(parsed, dump.json, "{class}: artifact diverges from dump");
+    me_trace::require_schema(&parsed).expect("dump artifacts are schema-stamped");
+    assert!(
+        parsed
+            .get("events")
+            .and_then(|e| e.items())
+            .is_some_and(|e| !e.is_empty()),
+        "{class}: dump carries no timeline"
+    );
+}
+
+/// Outage class 1: rail death. Only the rail-death trigger is armed, so the
+/// dump the outage produces is attributable to exactly that class.
+#[test]
+fn rail_death_outage_class_dumps_post_mortem() {
+    let fc = FlightConfig {
+        rto_backoff_trigger: 0,
+        fence_stall_trigger_ns: 0,
+        dump_dir: Some(flight_dir("soak_fr_rail_death").to_string_lossy().into_owned()),
+        ..FlightConfig::default()
+    };
+    let mut cfg = SystemConfig::two_link_1g_unordered(2);
+    cfg.seed = 21;
+    let plan = FaultPlan::new().rail_down(ms(2), 1).rail_up(ms(40), 1);
+    let dumps = soak_dumps(cfg, fc, plan, 3 << 20);
+    assert_dump_artifact("rail_death", &dumps);
+}
+
+/// Outage class 2: RTO exponential backoff. Both rails die so every
+/// retransmission times out and the backoff exponent climbs past the
+/// trigger; rail-death dumps are disabled to isolate the class.
+#[test]
+fn rto_backoff_outage_class_dumps_post_mortem() {
+    let fc = FlightConfig {
+        rto_backoff_trigger: 2,
+        fence_stall_trigger_ns: 0,
+        dump_on_rail_death: false,
+        dump_dir: Some(flight_dir("soak_fr_rto_backoff").to_string_lossy().into_owned()),
+        ..FlightConfig::default()
+    };
+    let mut cfg = SystemConfig::two_link_1g_unordered(2);
+    cfg.seed = 22;
+    let plan = FaultPlan::new()
+        .rail_down(ms(3), 0)
+        .rail_down(ms(3), 1)
+        .rail_up(ms(60), 0)
+        .rail_up(ms(60), 1);
+    let dumps = soak_dumps(cfg, fc, plan, 2 << 20);
+    assert_dump_artifact("rto_backoff", &dumps);
+    // With the other triggers disarmed, every retained dump is this class.
+    assert!(dumps.iter().all(|d| d.trigger == "rto_backoff"));
+}
+
+/// Outage class 3: fence stall. Ordered mode holds later fragments back
+/// until retransmission fills the seq gap the dead rail left, so releases
+/// stall well past the 1 ms trigger.
+#[test]
+fn fence_stall_outage_class_dumps_post_mortem() {
+    let fc = FlightConfig {
+        rto_backoff_trigger: 0,
+        fence_stall_trigger_ns: 1_000_000,
+        dump_on_rail_death: false,
+        dump_dir: Some(flight_dir("soak_fr_fence_stall").to_string_lossy().into_owned()),
+        ..FlightConfig::default()
+    };
+    let mut cfg = SystemConfig::two_link_1g(2);
+    cfg.seed = 23;
+    let plan = FaultPlan::new().rail_down(ms(2), 1).rail_up(ms(30), 1);
+    let dumps = soak_dumps(cfg, fc, plan, 2 << 20);
+    assert_dump_artifact("fence_stall", &dumps);
 }
 
 proptest! {
