@@ -4,7 +4,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke bench-attribution bench-attribution-smoke test-flight triage-check triage-smoke triage-baseline
+.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke bench-attribution bench-attribution-smoke test-flight triage-check triage-smoke triage-baseline bench-backplane backplane-smoke
 
 verify: build test doc clippy
 
@@ -84,3 +84,17 @@ triage-smoke:
 triage-baseline:
 	TRIAGE_BASELINE=1 TRIAGE_SMOKE=1 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench triage
 	TRIAGE_BASELINE=1 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench triage
+
+# Sim-vs-real transport cross-validation: the identical protocol driver
+# over the netsim backplane and over real UDP sockets on loopback, span
+# attributions diffed per phase (docs/BACKPLANE.md). Writes
+# results/backplane/{sim,udp}.json and results/BENCH_backplane.json.
+# Divergence is the measurement, not a failure; the run fails only if a
+# workload cannot complete on a backend.
+bench-backplane:
+	$(CARGO) bench $(OFFLINE) -p multiedge-bench --bench backplane
+
+# CI smoke flavour: reduced iterations/rounds, same artifacts, bounded by
+# `timeout` so a wedged wall-clock poll loop cannot hang the pipeline.
+backplane-smoke:
+	BACKPLANE_SMOKE=1 timeout 300 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench backplane

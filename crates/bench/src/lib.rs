@@ -8,6 +8,7 @@
 //!   (Figure 2 and the §4 network statistics).
 
 pub mod appfig;
+pub mod backplane;
 pub mod micro;
 pub mod triage;
 

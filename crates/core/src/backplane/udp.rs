@@ -1,0 +1,239 @@
+//! The real-socket implementation of the [`Backplane`] trait: one
+//! non-blocking UDP socket per rail, cross-connected over loopback.
+//!
+//! A [`UdpFabric`] owns **all** sockets of a two-node fabric — `2 × rails`
+//! of them — so that a single-threaded poll loop can drive both endpoints:
+//! [`Backplane::advance`] on either node drains every socket into per-node
+//! receive queues and returns as soon as anything arrived anywhere, exactly
+//! mirroring the simulated fabric's early-stop semantics.
+//!
+//! Frames cross the sockets in the MultiEdge wire format
+//! ([`frame::encode_frame_into`] / [`frame::decode_frame`]); each datagram
+//! is one frame. The Ethernet MAC addresses are not carried on the wire —
+//! a datagram arriving on node `n`'s rail-`r` socket can only have come
+//! from the peer's rail-`r` socket, so the addresses are reconstructed from
+//! (node, rail) exactly as a NIC would fill them in. Datagrams that fail to
+//! decode (truncated, bad checksum) are counted and dropped, the role the
+//! Ethernet FCS plays on a real wire.
+//!
+//! The clock is wall time: nanoseconds since the fabric was created. All
+//! protocol deadlines therefore run on real time here, which is the whole
+//! point — the cross-validation bench compares phase attributions measured
+//! on this clock against the simulator's virtual clock (see
+//! `docs/BACKPLANE.md`).
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::io::ErrorKind;
+use std::net::UdpSocket;
+use std::rc::Rc;
+use std::time::Instant;
+
+use frame::{decode_frame, encode_frame_into, Frame, MacAddr};
+
+use super::{Backplane, BpRx};
+
+/// Largest encoded frame: header + max payload (fits any MultiEdge frame).
+const DATAGRAM_BUF: usize = frame::HEADER_LEN + frame::MAX_PAYLOAD;
+
+/// All sockets of one two-node loopback fabric (see module docs).
+pub struct UdpFabric {
+    /// `sockets[node][rail]`, each connected to `sockets[1-node][rail]`.
+    sockets: Vec<Vec<UdpSocket>>,
+    /// Per-node receive queues fed by [`UdpFabric::poll_all`].
+    queues: [RefCell<VecDeque<BpRx>>; 2],
+    /// Wall-clock epoch: `now_ns` is elapsed time since this instant.
+    epoch: Instant,
+    /// Total datagrams delivered (the advance early-stop signal).
+    delivered: Cell<u64>,
+    /// Datagrams that failed to decode and were dropped.
+    decode_dropped: Cell<u64>,
+    /// Reusable receive buffer.
+    buf: RefCell<Box<[u8]>>,
+    /// Reusable encode scratch.
+    scratch: RefCell<Vec<u8>>,
+}
+
+impl UdpFabric {
+    /// Bind and cross-connect `2 × rails` loopback sockets.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket `bind`/`connect`/configuration error verbatim.
+    pub fn new(rails: usize) -> std::io::Result<Rc<UdpFabric>> {
+        assert!(rails >= 1, "a fabric needs at least one rail");
+        let mut sockets: Vec<Vec<UdpSocket>> = Vec::with_capacity(2);
+        for _node in 0..2 {
+            let mut per_rail = Vec::with_capacity(rails);
+            for _rail in 0..rails {
+                let s = UdpSocket::bind("127.0.0.1:0")?;
+                s.set_nonblocking(true)?;
+                per_rail.push(s);
+            }
+            sockets.push(per_rail);
+        }
+        let (node0, node1) = (&sockets[0], &sockets[1]);
+        for (sa, sb) in node0.iter().zip(node1.iter()) {
+            let a = sa.local_addr()?;
+            let b = sb.local_addr()?;
+            sa.connect(b)?;
+            sb.connect(a)?;
+        }
+        Ok(Rc::new(UdpFabric {
+            sockets,
+            queues: [RefCell::default(), RefCell::default()],
+            epoch: Instant::now(),
+            delivered: Cell::new(0),
+            decode_dropped: Cell::new(0),
+            buf: RefCell::new(vec![0u8; DATAGRAM_BUF].into_boxed_slice()),
+            scratch: RefCell::new(Vec::with_capacity(DATAGRAM_BUF)),
+        }))
+    }
+
+    /// Both nodes' backplane views of this fabric.
+    pub fn pair(self: &Rc<Self>) -> (UdpBackplane, UdpBackplane) {
+        (
+            UdpBackplane {
+                fabric: self.clone(),
+                node: 0,
+            },
+            UdpBackplane {
+                fabric: self.clone(),
+                node: 1,
+            },
+        )
+    }
+
+    /// Datagrams that failed to decode and were dropped (the FCS stand-in).
+    pub fn decode_dropped(&self) -> u64 {
+        self.decode_dropped.get()
+    }
+
+    fn rails(&self) -> usize {
+        self.sockets[0].len()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Drain every socket of both nodes into the per-node queues.
+    fn poll_all(&self) {
+        let now = self.now_ns();
+        let mut buf = self.buf.borrow_mut();
+        for node in 0..2 {
+            for (rail, sock) in self.sockets[node].iter().enumerate() {
+                loop {
+                    match sock.recv(&mut buf[..]) {
+                        Ok(n) => {
+                            let src = MacAddr::new((1 - node) as u16, rail as u8);
+                            let dst = MacAddr::new(node as u16, rail as u8);
+                            match decode_frame(src, dst, &buf[..n]) {
+                                Ok(frame) => {
+                                    self.queues[node].borrow_mut().push_back(BpRx {
+                                        rail: rail as u32,
+                                        at_ns: now,
+                                        frame,
+                                    });
+                                    self.delivered.set(self.delivered.get() + 1);
+                                }
+                                Err(_) => {
+                                    self.decode_dropped.set(self.decode_dropped.get() + 1);
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        // Treat transient socket errors like a dropped
+                        // frame; the protocol recovers via NACK/RTO.
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+    }
+
+    fn send(&self, node: usize, rail: usize, frame: &Frame) -> bool {
+        let mut scratch = self.scratch.borrow_mut();
+        encode_frame_into(frame, &mut scratch);
+        // A failed send (full socket buffer) is a transmit-queue overflow:
+        // the frame is lost and recovered by the reliability machinery.
+        self.sockets[node][rail].send(&scratch).is_ok()
+    }
+}
+
+/// One node's view of a [`UdpFabric`].
+pub struct UdpBackplane {
+    fabric: Rc<UdpFabric>,
+    node: usize,
+}
+
+impl Backplane for UdpBackplane {
+    fn rails(&self) -> usize {
+        self.fabric.rails()
+    }
+
+    fn mtu(&self) -> usize {
+        frame::MAX_PAYLOAD
+    }
+
+    fn peer_mtu(&self) -> usize {
+        // Loopback: both ends speak the same datagram budget.
+        frame::MAX_PAYLOAD
+    }
+
+    fn local_mac(&self, rail: usize) -> MacAddr {
+        MacAddr::new(self.node as u16, rail as u8)
+    }
+
+    fn peer_mac(&self, rail: usize) -> MacAddr {
+        MacAddr::new((1 - self.node) as u16, rail as u8)
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.fabric.now_ns()
+    }
+
+    fn send(&mut self, rail: usize, frame: Frame) -> bool {
+        self.fabric.send(self.node, rail, &frame)
+    }
+
+    fn next(&mut self) -> Option<BpRx> {
+        let head = self.fabric.queues[self.node].borrow_mut().pop_front();
+        if head.is_some() {
+            return head;
+        }
+        // Nothing queued: opportunistically drain the sockets so a caller
+        // that never calls `advance` still sees traffic.
+        self.fabric.poll_all();
+        self.fabric.queues[self.node].borrow_mut().pop_front()
+    }
+
+    fn tx_backlog_ns(&self, _rail: usize) -> u64 {
+        // The kernel socket buffer is opaque; report an idle queue.
+        0
+    }
+
+    fn advance(&mut self, until_ns: u64) -> u64 {
+        let base = self.fabric.delivered.get();
+        let mut spins = 0u32;
+        loop {
+            self.fabric.poll_all();
+            if self.fabric.delivered.get() != base {
+                return self.fabric.now_ns();
+            }
+            let now = self.fabric.now_ns();
+            if now >= until_ns {
+                return now;
+            }
+            // Busy-wait with backoff: loopback latencies are microseconds,
+            // so spin first, then yield the core while waiting out longer
+            // deadlines (delayed acks, RTO).
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}

@@ -1650,9 +1650,12 @@ impl Endpoint {
                 Some(r) if r < nics.len() => r,
                 _ => {
                     let mask = c.rails.eligible_mask(self.sim.now());
-                    c.sched.pick(nics, &self.net, mask, |n| {
-                        self.sim.with_rng(|r| r.gen_range(0..n))
-                    })
+                    c.sched.pick(
+                        nics.len(),
+                        mask,
+                        |i| self.net.nic_tx_backlog(nics[i]).as_nanos(),
+                        |n| self.sim.with_rng(|r| r.gen_range(0..n)),
+                    )
                 }
             };
             let f = Frame {
@@ -1784,9 +1787,12 @@ impl Endpoint {
                 Some(r) if r < nics.len() => r,
                 _ => {
                     let mask = c.rails.eligible_mask(self.sim.now());
-                    c.sched.pick(nics, &self.net, mask, |n| {
-                        self.sim.with_rng(|r| r.gen_range(0..n))
-                    })
+                    c.sched.pick(
+                        nics.len(),
+                        mask,
+                        |i| self.net.nic_tx_backlog(nics[i]).as_nanos(),
+                        |n| self.sim.with_rng(|r| r.gen_range(0..n)),
+                    )
                 }
             };
             let f = Frame {
@@ -2015,9 +2021,12 @@ impl EndpointInner {
             f.header.flags |= FrameFlags::RETRANSMIT;
         }
         let mask = c.rails.eligible_mask(sim.now());
-        let rail = c
-            .sched
-            .pick(nics, net, mask, |n| sim.with_rng(|r| r.gen_range(0..n)));
+        let rail = c.sched.pick(
+            nics.len(),
+            mask,
+            |i| net.nic_tx_backlog(nics[i]).as_nanos(),
+            |n| sim.with_rng(|r| r.gen_range(0..n)),
+        );
         c.rails.note_sent(rail, seq);
         let slot = c.tx.get_mut(seq).expect("slot just read");
         slot.rail = rail;

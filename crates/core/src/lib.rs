@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backplane;
 pub mod config;
 pub mod endpoint;
 pub mod memory;
@@ -65,6 +66,7 @@ pub mod seqspace;
 pub mod stats;
 pub mod striping;
 
+pub use backplane::{Backplane, BpRx, SimBackplane, UdpBackplane, UdpFabric, WireEndpoint};
 pub use config::{CostModel, ProtoConfig, SystemConfig};
 pub use endpoint::Endpoint;
 pub use memory::{AppMemory, PAGE_SIZE};

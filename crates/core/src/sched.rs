@@ -5,8 +5,12 @@
 //! currently use a round-robin policy." — the paper's policy is
 //! [`SchedPolicy::RoundRobin`]; the alternatives exist for the scheduling
 //! ablation bench.
-
-use netsim::{Dur, Network, NicId};
+//!
+//! The scheduler is deliberately transport-agnostic: it reasons about rail
+//! *indices* and a backlog probe, never about NICs or the simulator. That
+//! is what lets the same per-connection scheduler state drive both the
+//! netsim backend and the real UDP backend behind the
+//! [`Backplane`](crate::backplane::Backplane) seam.
 
 /// Which link-selection policy a connection uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,60 +43,61 @@ impl LinkScheduler {
         Self { policy, cursor: 0 }
     }
 
-    /// Pick the rail for the next frame. `nics` are the local NICs, one per
-    /// rail; `backlog` may be consulted for queue-aware policies. `mask` is
-    /// the rail-health eligibility mask (bit r set = rail r may be used);
-    /// a mask that excludes every rail falls back to all rails — a fully
-    /// dead rail set must degrade to "keep trying", never to a stall.
-    /// [`SchedPolicy::Single`] ignores the mask: an explicit pin is an
-    /// operator decision that health tracking must not override.
+    /// Pick the rail for the next frame among `rails` rails (indices
+    /// `0..rails`). `backlog_ns` reports a rail's current transmit backlog
+    /// in nanoseconds and is only consulted by queue-aware policies.
+    /// `mask` is the rail-health eligibility mask (bit r set = rail r may
+    /// be used); a mask that excludes every rail falls back to all rails —
+    /// a fully dead rail set must degrade to "keep trying", never to a
+    /// stall. [`SchedPolicy::Single`] ignores the mask: an explicit pin is
+    /// an operator decision that health tracking must not override.
     pub fn pick(
         &mut self,
-        nics: &[NicId],
-        net: &Network,
+        rails: usize,
         mask: u64,
+        backlog_ns: impl Fn(usize) -> u64,
         rng_draw: impl FnOnce(usize) -> usize,
     ) -> usize {
-        debug_assert!(!nics.is_empty());
-        let all = if nics.len() >= 64 {
+        debug_assert!(rails > 0);
+        let all = if rails >= 64 {
             u64::MAX
         } else {
-            (1u64 << nics.len()) - 1
+            (1u64 << rails) - 1
         };
         let mask = if mask & all == 0 { all } else { mask & all };
         let ok = |i: usize| mask & (1 << i) != 0;
         match self.policy {
             SchedPolicy::RoundRobin => {
-                let mut r = self.cursor % nics.len();
+                let mut r = self.cursor % rails;
                 while !ok(r) {
-                    r = (r + 1) % nics.len();
+                    r = (r + 1) % rails;
                 }
-                self.cursor = (r + 1) % nics.len();
+                self.cursor = (r + 1) % rails;
                 r
             }
             SchedPolicy::Random => {
-                let eligible: Vec<usize> = (0..nics.len()).filter(|&i| ok(i)).collect();
+                let eligible: Vec<usize> = (0..rails).filter(|&i| ok(i)).collect();
                 eligible[rng_draw(eligible.len())]
             }
             SchedPolicy::ShortestQueue => {
                 let mut best = None;
-                let mut best_backlog = Dur(u64::MAX);
-                for off in 0..nics.len() {
-                    let i = (self.cursor + off) % nics.len();
+                let mut best_backlog = u64::MAX;
+                for off in 0..rails {
+                    let i = (self.cursor + off) % rails;
                     if !ok(i) {
                         continue;
                     }
-                    let b = net.nic_tx_backlog(nics[i]);
+                    let b = backlog_ns(i);
                     if b < best_backlog {
                         best_backlog = b;
                         best = Some(i);
                     }
                 }
-                let best = best.unwrap_or(self.cursor % nics.len());
-                self.cursor = (best + 1) % nics.len();
+                let best = best.unwrap_or(self.cursor % rails);
+                self.cursor = (best + 1) % rails;
                 best
             }
-            SchedPolicy::Single(i) => i.min(nics.len() - 1),
+            SchedPolicy::Single(i) => i.min(rails - 1),
         }
     }
 }
@@ -100,94 +105,76 @@ impl LinkScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use frame::MacAddr;
-    use netsim::{ChannelParams, FaultModel, Sim};
 
-    fn net_with_nics(n: usize) -> (Network, Vec<NicId>) {
-        let sim = Sim::new(0);
-        let net = Network::new(&sim, FaultModel::default());
-        let sw = net.add_switch(netsim::time::us(1));
-        let nics: Vec<_> = (0..n)
-            .map(|i| {
-                let nic = net.add_nic(MacAddr::new(0, i as u8));
-                net.connect(nic, sw, ChannelParams::gbe_1());
-                nic
-            })
-            .collect();
-        (net, nics)
+    /// All rails idle — the backlog probe for order-only tests.
+    fn idle(_: usize) -> u64 {
+        0
     }
 
     #[test]
     fn round_robin_cycles() {
-        let (net, nics) = net_with_nics(3);
         let mut s = LinkScheduler::new(SchedPolicy::RoundRobin);
-        let picks: Vec<_> = (0..7).map(|_| s.pick(&nics, &net, ALL_RAILS, |_| 0)).collect();
+        let picks: Vec<_> = (0..7).map(|_| s.pick(3, ALL_RAILS, idle, |_| 0)).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
     }
 
     #[test]
     fn round_robin_skips_masked_out_rails() {
-        let (net, nics) = net_with_nics(3);
         let mut s = LinkScheduler::new(SchedPolicy::RoundRobin);
         // Rail 1 excluded: rotation degrades to 0, 2, 0, …
-        let picks: Vec<_> = (0..3).map(|_| s.pick(&nics, &net, 0b101, |_| 0)).collect();
+        let picks: Vec<_> = (0..3).map(|_| s.pick(3, 0b101, idle, |_| 0)).collect();
         assert_eq!(picks, vec![0, 2, 0]);
         // Rail 1 re-admitted: the rotation picks it back up.
-        assert_eq!(s.pick(&nics, &net, ALL_RAILS, |_| 0), 1);
+        assert_eq!(s.pick(3, ALL_RAILS, idle, |_| 0), 1);
     }
 
     #[test]
     fn empty_mask_falls_back_to_all_rails() {
-        let (net, nics) = net_with_nics(2);
         let mut s = LinkScheduler::new(SchedPolicy::RoundRobin);
-        let picks: Vec<_> = (0..4).map(|_| s.pick(&nics, &net, 0, |_| 0)).collect();
+        let picks: Vec<_> = (0..4).map(|_| s.pick(2, 0, idle, |_| 0)).collect();
         assert_eq!(picks, vec![0, 1, 0, 1]);
     }
 
     #[test]
     fn single_pins_and_clamps() {
-        let (net, nics) = net_with_nics(2);
         let mut s = LinkScheduler::new(SchedPolicy::Single(1));
-        assert_eq!(s.pick(&nics, &net, ALL_RAILS, |_| 0), 1);
+        assert_eq!(s.pick(2, ALL_RAILS, idle, |_| 0), 1);
         let mut s = LinkScheduler::new(SchedPolicy::Single(9));
-        assert_eq!(s.pick(&nics, &net, ALL_RAILS, |_| 0), 1);
+        assert_eq!(s.pick(2, ALL_RAILS, idle, |_| 0), 1);
         // A pin overrides the health mask.
         let mut s = LinkScheduler::new(SchedPolicy::Single(1));
-        assert_eq!(s.pick(&nics, &net, 0b01, |_| 0), 1);
+        assert_eq!(s.pick(2, 0b01, idle, |_| 0), 1);
     }
 
     #[test]
     fn random_uses_draw() {
-        let (net, nics) = net_with_nics(4);
         let mut s = LinkScheduler::new(SchedPolicy::Random);
-        assert_eq!(s.pick(&nics, &net, ALL_RAILS, |n| n - 1), 3);
+        assert_eq!(s.pick(4, ALL_RAILS, idle, |n| n - 1), 3);
         // Draw happens over the eligible subset only.
         let mut s = LinkScheduler::new(SchedPolicy::Random);
-        assert_eq!(s.pick(&nics, &net, 0b1010, |n| n - 1), 3);
+        assert_eq!(s.pick(4, 0b1010, idle, |n| n - 1), 3);
         let mut s = LinkScheduler::new(SchedPolicy::Random);
-        assert_eq!(s.pick(&nics, &net, 0b1010, |_| 0), 1);
+        assert_eq!(s.pick(4, 0b1010, idle, |_| 0), 1);
     }
 
     #[test]
     fn shortest_queue_prefers_idle_link() {
-        let (net, nics) = net_with_nics(2);
         let mut s = LinkScheduler::new(SchedPolicy::ShortestQueue);
         // Both idle: first pick takes rail 0, advancing the cursor.
-        assert_eq!(s.pick(&nics, &net, ALL_RAILS, |_| 0), 0);
-        // Load rail 1 heavily by sending frames on it directly.
-        for _ in 0..5 {
-            let f = frame::Frame {
-                src: MacAddr::new(0, 1),
-                dst: MacAddr::new(0, 0),
-                header: frame::FrameHeader::default(),
-                payload: bytes::Bytes::from(vec![0u8; 1400]),
-            };
-            net.nic_send(nics[1], f);
-        }
-        // Rail 0 is idle, rail 1 backlogged: always rail 0 now.
-        assert_eq!(s.pick(&nics, &net, ALL_RAILS, |_| 0), 0);
-        assert_eq!(s.pick(&nics, &net, ALL_RAILS, |_| 0), 0);
+        assert_eq!(s.pick(2, ALL_RAILS, idle, |_| 0), 0);
+        // Rail 0 idle, rail 1 backlogged: always rail 0 now.
+        let loaded = |i: usize| if i == 1 { 50_000 } else { 0 };
+        assert_eq!(s.pick(2, ALL_RAILS, loaded, |_| 0), 0);
+        assert_eq!(s.pick(2, ALL_RAILS, loaded, |_| 0), 0);
         // Unless rail 0 is masked out by health tracking.
-        assert_eq!(s.pick(&nics, &net, 0b10, |_| 0), 1);
+        assert_eq!(s.pick(2, 0b10, loaded, |_| 0), 1);
+    }
+
+    #[test]
+    fn shortest_queue_breaks_ties_round_robin() {
+        let mut s = LinkScheduler::new(SchedPolicy::ShortestQueue);
+        // Equal backlogs: the cursor rotates like round-robin.
+        let picks: Vec<_> = (0..4).map(|_| s.pick(3, ALL_RAILS, idle, |_| 0)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0]);
     }
 }

@@ -115,9 +115,13 @@ bitflags_lite! {
     /// applied. `RETRANSMIT` marks retransmitted frames (statistics only;
     /// the receiver treats them identically).
     pub struct FrameFlags: u16 {
+        /// This operation must not be applied before any earlier operation.
         const FENCE_BACKWARD = 1 << 0;
+        /// No later operation may be applied before this one.
         const FENCE_FORWARD = 1 << 1;
+        /// Notify the remote application once the operation is applied.
         const NOTIFY = 1 << 2;
+        /// Retransmitted frame (statistics only; handled identically).
         const RETRANSMIT = 1 << 3;
         /// First fragment of its operation.
         const FIRST_FRAGMENT = 1 << 4;

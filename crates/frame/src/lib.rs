@@ -20,6 +20,8 @@
 //! The codec is deliberately explicit (no `serde` on the wire) so that header
 //! layout, sizes and the checksum are under test and stable.
 
+#![warn(missing_docs)]
+
 pub mod codec;
 pub mod fasthash;
 pub mod header;

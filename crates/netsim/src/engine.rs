@@ -766,6 +766,49 @@ impl Sim {
     pub fn run(&self) -> RunReport {
         self.run_with_limit(None)
     }
+
+    /// Drive the simulator from an external deadline loop: execute every
+    /// event with `time <= limit`, checking `stop()` between events and
+    /// returning early (at the current clock) as soon as it reports true.
+    ///
+    /// Unlike [`Sim::run_with_limit`], when the queue drains — or only
+    /// events beyond `limit` remain — the clock is **advanced to `limit`**
+    /// before returning, so an idle simulation still reaches an externally
+    /// imposed deadline. This is the primitive the sim transport backplane
+    /// uses: the protocol driver computes its next timer deadline, calls
+    /// `advance_until(deadline, ..)`, and the stop predicate fires the
+    /// moment a frame is delivered so the driver can process it at the
+    /// correct virtual time instead of at the deadline.
+    ///
+    /// Forcing the clock forward is safe because every scheduling entry
+    /// point clamps new events to `at.max(now)` — nothing can be scheduled
+    /// in the skipped-over span.
+    pub fn advance_until(&self, limit: SimTime, mut stop: impl FnMut() -> bool) -> SimTime {
+        loop {
+            if stop() {
+                return self.now();
+            }
+            let next = {
+                let mut inner = self.inner.borrow_mut();
+                match inner.pop_next(Some(limit)) {
+                    None => break,
+                    Some(ev) => ev,
+                }
+            };
+            match next.what {
+                What::Call(idx) => {
+                    let f = self.inner.borrow_mut().take_event(idx);
+                    f.invoke(self);
+                }
+                What::Poll(id) => self.poll_task(id),
+            }
+        }
+        let mut inner = self.inner.borrow_mut();
+        if inner.now < limit {
+            inner.now = limit;
+        }
+        inner.now
+    }
 }
 
 #[cfg(test)]
@@ -950,6 +993,47 @@ mod tests {
         let id = sim.schedule_timer_in(us(1), move |_| drop(big2));
         sim.cancel_timer(id);
         sim.run().expect_quiescent();
+    }
+
+    #[test]
+    fn advance_until_reaches_deadline_when_idle() {
+        let sim = Sim::new(0);
+        // No events at all: the clock must still reach the deadline.
+        let end = sim.advance_until(SimTime::ZERO + ms(3), || false);
+        assert_eq!(end, SimTime::ZERO + ms(3));
+        assert_eq!(sim.now(), SimTime::ZERO + ms(3));
+        // Events beyond the limit stay queued and the clock stops at the
+        // new, later limit — not at the event.
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        sim.schedule_in(ms(10), move |_| *f.borrow_mut() = true);
+        let end = sim.advance_until(SimTime::ZERO + ms(5), || false);
+        assert_eq!(end, SimTime::ZERO + ms(5));
+        assert!(!*fired.borrow());
+        // A later advance past the event runs it.
+        sim.advance_until(SimTime::ZERO + ms(20), || false);
+        assert!(*fired.borrow());
+        assert_eq!(sim.now(), SimTime::ZERO + ms(20));
+    }
+
+    #[test]
+    fn advance_until_stops_early_on_predicate() {
+        let sim = Sim::new(0);
+        let hits: Rc<RefCell<Vec<u64>>> = Rc::default();
+        for t in [1u64, 2, 3] {
+            let h = hits.clone();
+            sim.schedule_in(ms(t), move |s| h.borrow_mut().push(s.now().as_nanos()));
+        }
+        // Stop as soon as the first event has run: the clock must sit at
+        // that event's time, with the later events still queued.
+        let h = hits.clone();
+        let end = sim.advance_until(SimTime::ZERO + ms(10), move || !h.borrow().is_empty());
+        assert_eq!(end, SimTime::ZERO + ms(1));
+        assert_eq!(hits.borrow().len(), 1);
+        // Resuming without the predicate drains the rest and pins to limit.
+        let end = sim.advance_until(SimTime::ZERO + ms(10), || false);
+        assert_eq!(end, SimTime::ZERO + ms(10));
+        assert_eq!(hits.borrow().len(), 3);
     }
 }
 
