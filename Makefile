@@ -4,7 +4,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke bench-attribution bench-attribution-smoke test-flight triage-check triage-smoke triage-baseline bench-backplane backplane-smoke
+.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke bench-attribution bench-attribution-smoke test-flight triage-check triage-smoke triage-baseline bench-backplane backplane-smoke test-chaos bench-chaos chaos-smoke
 
 verify: build test doc clippy
 
@@ -98,3 +98,23 @@ bench-backplane:
 # `timeout` so a wedged wall-clock poll loop cannot hang the pipeline.
 backplane-smoke:
 	BACKPLANE_SMOKE=1 timeout 300 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench backplane
+
+# Backend-agnostic chaos: the FaultBackplane interposer replays seeded
+# fault schedules over BOTH backends (sim and UDP loopback) with the
+# identical protocol driver — exactly-once delivery, fence ordering,
+# identical timing-independent fingerprints, typed WireError liveness, and
+# cadence-independence proptests (docs/FAULTS.md § Backend-agnostic
+# injection).
+test-chaos:
+	$(CARGO) test $(OFFLINE) -p integration-tests --test chaos_soak --test chaos_properties
+
+# Chaos soak harness: per-schedule chaos/recovery counters on both
+# backends, fingerprints asserted equal, flight dumps written under
+# results/chaos_dumps/, report to results/BENCH_chaos.json. Bounded by
+# `timeout` so a wedged wall-clock loop cannot hang the pipeline.
+bench-chaos:
+	timeout 300 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench chaos
+
+# CI smoke flavour: reduced workload, same assertions and artifacts.
+chaos-smoke:
+	CHAOS_SMOKE=1 timeout 300 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench chaos

@@ -9,6 +9,7 @@
 
 pub mod appfig;
 pub mod backplane;
+pub mod chaos;
 pub mod micro;
 pub mod triage;
 

@@ -22,13 +22,17 @@
 
 use frame::{Frame, MacAddr};
 
+mod chaos;
 mod sim;
 mod udp;
 mod wire;
 
+pub use chaos::{ChaosConfig, ChaosDecision, ChaosStats, FaultBackplane};
 pub use sim::SimBackplane;
-pub use udp::{UdpBackplane, UdpFabric};
-pub use wire::{drive, CompletedWrite, WireConnState, WireEndpoint};
+pub use udp::{UdpBackplane, UdpFabric, UdpFabricConfig, UdpFabricStats, UdpRxError};
+pub use wire::{
+    drain, drive, drive_with, CompletedWrite, DriveLimits, WireConnState, WireEndpoint, WireError,
+};
 
 /// One frame delivered by a backplane, tagged with the rail it arrived on
 /// and the backplane-clock timestamp of its physical arrival.

@@ -1,0 +1,726 @@
+//! [`FaultBackplane`]: a backend-agnostic chaos interposer.
+//!
+//! Wraps *any* [`Backplane`] — the deterministic simulator or the real UDP
+//! fabric — and applies a seed-deterministic fault schedule at the trait
+//! seam: per-rail drop, duplication, reordering, corruption (counted and
+//! discarded, the FCS role the trait contract assigns to backplanes), fixed
+//! added delay, and timed blackouts / NIC stalls scripted by the same
+//! [`FaultPlan`] DSL netsim replays natively. One schedule therefore
+//! drives both transports, which is what lets the chaos soak suite assert
+//! identical timing-independent protocol fingerprints sim-vs-UDP under
+//! loss (`tests/tests/chaos_soak.rs`).
+//!
+//! Determinism contract: the per-frame *base* decisions (drop, dup,
+//! reorder, corrupt) are a pure function of `(seed, node, rail, frame
+//! index on that rail)` — [`ChaosConfig::decisions_for`] recomputes them
+//! without a backplane, and a proptest pins that the observed effects are
+//! identical regardless of how the caller interleaves `send`/`advance`
+//! (`tests/tests/chaos_properties.rs`). Time-scripted faults (blackouts,
+//! stalls, burst processes) additionally depend on the backplane clock at
+//! submission, which is exact virtual time on the simulator and wall time
+//! on UDP — same schedule, same *semantics*, physically different instants.
+//!
+//! Divergences from netsim's native replay, by design of a send-side
+//! interposer: a blackout drops frames at submission (netsim also kills
+//! frames already in flight), and a peer NIC stall is modeled by holding
+//! the frame until the stall ends (netsim holds it in the receiving NIC).
+//! Both preserve the protocol-visible effect — the frames do not arrive
+//! while the fault is active.
+
+use frame::Frame;
+use me_trace::{FlightCode, FlightRecorder};
+use netsim::{covered, FaultPlan, GilbertElliott};
+
+use super::{Backplane, BpRx};
+
+/// Chaos schedule for one two-node fabric: seeded random per-frame faults
+/// plus the scripted [`FaultPlan`] timeline. Probabilities are clamped to
+/// `[0, 1]` at application time.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosConfig {
+    /// Seed for every per-frame random decision. The same seed reproduces
+    /// the same decision stream per `(node, rail)` on any backend.
+    pub seed: u64,
+    /// Per-frame probability of a silent drop.
+    pub drop: f64,
+    /// Per-frame probability the frame is delivered twice.
+    pub dup: f64,
+    /// Per-frame probability the frame is held for
+    /// [`ChaosConfig::reorder_delay_ns`], letting later frames overtake it.
+    pub reorder: f64,
+    /// How long a reordered frame is held back.
+    pub reorder_delay_ns: u64,
+    /// Per-frame probability of corruption. Per the [`Backplane`] contract
+    /// corrupted frames are discarded by the backplane (the Ethernet-FCS
+    /// role) — counted in [`ChaosStats::corrupt_dropped`], never delivered.
+    pub corrupt: f64,
+    /// Fixed extra delay added to every delivered frame.
+    pub delay_ns: u64,
+    /// Scripted timeline: blackouts ([`netsim::FaultAction::LinkDown`]),
+    /// NIC stalls, Gilbert–Elliott burst processes. Times are on the
+    /// wrapped backplane's clock.
+    pub plan: FaultPlan,
+}
+
+impl ChaosConfig {
+    /// A fault-free schedule with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Set the per-frame drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Set the per-frame duplication probability.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        self.dup = p;
+        self
+    }
+
+    /// Set the per-frame reorder probability and hold-back delay.
+    pub fn with_reorder(mut self, p: f64, delay_ns: u64) -> Self {
+        self.reorder = p;
+        self.reorder_delay_ns = delay_ns;
+        self
+    }
+
+    /// Set the per-frame corruption probability.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+
+    /// Add a fixed delay to every delivered frame.
+    pub fn with_delay(mut self, delay_ns: u64) -> Self {
+        self.delay_ns = delay_ns;
+        self
+    }
+
+    /// Attach a scripted fault timeline.
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// The first `n` base decisions for `node`'s lane on `rail` — the pure
+    /// decision stream the interposer consumes, recomputed without a
+    /// backplane. Scripted faults (blackouts, stalls, bursts) are *not*
+    /// reflected here; they depend on submission time, not the stream.
+    pub fn decisions_for(&self, node: usize, rail: usize, n: usize) -> Vec<ChaosDecision> {
+        let mut rng = decision_seed(self.seed, node, rail);
+        (0..n).map(|_| draw_decision(&mut rng, self)).collect()
+    }
+}
+
+/// The base chaos verdict for one frame (see
+/// [`ChaosConfig::decisions_for`]). Flags are drawn independently;
+/// precedence at application time is corrupt > drop > (dup, reorder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosDecision {
+    /// Silently dropped.
+    pub drop: bool,
+    /// Delivered twice.
+    pub dup: bool,
+    /// Held back so later frames overtake.
+    pub reorder: bool,
+    /// Corrupted: counted and discarded.
+    pub corrupt: bool,
+}
+
+/// Counters of everything the interposer did, summed over rails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosStats {
+    /// Frames submitted through the interposer.
+    pub frames_seen: u64,
+    /// Frames silently dropped (base probability or burst process).
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames held back to reorder.
+    pub reordered: u64,
+    /// Frames corrupted — counted and discarded, FCS-style.
+    pub corrupt_dropped: u64,
+    /// Frames dropped because a scripted blackout covered submission time.
+    pub blackout_dropped: u64,
+    /// Frames held until a scripted peer NIC stall ended.
+    pub stall_held: u64,
+    /// Frames given added delay (fixed delay or reorder hold).
+    pub delayed: u64,
+}
+
+/// One frame held back (reorder, delay, or peer stall), released by
+/// `flush_due` in `(release_ns, submission order)` order.
+struct HeldFrame {
+    release_ns: u64,
+    order: u64,
+    rail: usize,
+    frame: Frame,
+}
+
+/// Per-rail fault state: the decision RNG stream, the burst process, and
+/// the pre-interpreted scripted timelines for this node's lane.
+struct Lane {
+    decision_rng: u64,
+    burst_rng: u64,
+    burst_bad: bool,
+    burst_timeline: Vec<(u64, Option<GilbertElliott>)>,
+    /// This node's link is administratively down (frames dropped at the NIC).
+    local_down: Vec<(u64, u64)>,
+    /// The peer's link is down (frames lost before arrival).
+    peer_down: Vec<(u64, u64)>,
+    /// The peer's receive path is stalled (frames held until it ends).
+    peer_stall: Vec<(u64, u64)>,
+    in_blackout: bool,
+}
+
+impl Lane {
+    /// Advance the Gilbert–Elliott chain one frame and evaluate loss and
+    /// corruption. Always consumes exactly three draws so the stream stays
+    /// aligned whether or not a model is in force at `now`.
+    fn burst_eval(&mut self, now: u64) -> (bool, bool) {
+        let r_trans = draw_f64(&mut self.burst_rng);
+        let r_loss = draw_f64(&mut self.burst_rng);
+        let r_corrupt = draw_f64(&mut self.burst_rng);
+        let model = self
+            .burst_timeline
+            .iter()
+            .take_while(|&&(at, _)| at <= now)
+            .last()
+            .and_then(|&(_, m)| m);
+        let Some(m) = model else {
+            self.burst_bad = false;
+            return (false, false);
+        };
+        let p_flip = if self.burst_bad {
+            m.p_bad_to_good
+        } else {
+            m.p_good_to_bad
+        };
+        if r_trans < p_flip {
+            self.burst_bad = !self.burst_bad;
+        }
+        let (loss, corrupt) = if self.burst_bad {
+            (m.loss_bad, m.corrupt_bad)
+        } else {
+            (m.loss_good, m.corrupt_good)
+        };
+        (r_loss < loss, r_corrupt < corrupt)
+    }
+}
+
+/// A [`Backplane`] that injects the [`ChaosConfig`] schedule in front of
+/// any inner backend. See the module docs for the exact semantics.
+pub struct FaultBackplane<B: Backplane> {
+    inner: B,
+    node: usize,
+    cfg: ChaosConfig,
+    lanes: Vec<Lane>,
+    /// Held frames sorted by `(release_ns, order)`.
+    held: Vec<HeldFrame>,
+    next_order: u64,
+    stats: ChaosStats,
+    flight: FlightRecorder,
+}
+
+impl<B: Backplane> FaultBackplane<B> {
+    /// Wrap `inner` (node `node`'s view of the fabric) under `cfg`.
+    pub fn new(inner: B, node: usize, cfg: &ChaosConfig) -> Self {
+        let peer = 1 - node;
+        let lanes = (0..inner.rails())
+            .map(|rail| Lane {
+                decision_rng: decision_seed(cfg.seed, node, rail),
+                burst_rng: mix(cfg.seed, node, rail, 0xB0B5),
+                burst_bad: false,
+                burst_timeline: cfg.plan.burst_timeline(node, rail),
+                local_down: cfg.plan.down_intervals(node, rail),
+                peer_down: cfg.plan.down_intervals(peer, rail),
+                peer_stall: cfg.plan.stall_intervals(peer, rail),
+                in_blackout: false,
+            })
+            .collect();
+        Self {
+            inner,
+            node,
+            cfg: cfg.clone(),
+            lanes,
+            held: Vec::new(),
+            next_order: 0,
+            stats: ChaosStats::default(),
+            flight: FlightRecorder::disabled(),
+        }
+    }
+
+    /// Everything the interposer has done so far.
+    pub fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Unwrap, discarding any still-held frames (they were in flight; the
+    /// protocol treats them as lost).
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    /// Record injected faults into `flight` (drops, corruptions, blackout
+    /// entries) for post-mortem dumps.
+    pub fn set_flight(&mut self, flight: &FlightRecorder) {
+        self.flight = flight.clone();
+    }
+
+    /// Release every held frame whose time has come, in release order.
+    fn flush_due(&mut self, now: u64) {
+        while self.held.first().is_some_and(|h| h.release_ns <= now) {
+            let h = self.held.remove(0);
+            // A rejected send is a transmit-queue loss; the protocol
+            // recovers it like any other.
+            let _ = self.inner.send(h.rail, h.frame);
+        }
+    }
+
+    /// Queue a frame for release at `release_ns`, keeping release order.
+    fn hold(&mut self, release_ns: u64, rail: usize, frame: Frame) {
+        let order = self.next_order;
+        self.next_order += 1;
+        let key = (release_ns, order);
+        let pos = self
+            .held
+            .partition_point(|h| (h.release_ns, h.order) <= key);
+        self.held.insert(
+            pos,
+            HeldFrame {
+                release_ns,
+                order,
+                rail,
+                frame,
+            },
+        );
+    }
+}
+
+impl<B: Backplane> Backplane for FaultBackplane<B> {
+    fn rails(&self) -> usize {
+        self.inner.rails()
+    }
+
+    fn mtu(&self) -> usize {
+        self.inner.mtu()
+    }
+
+    fn peer_mtu(&self) -> usize {
+        self.inner.peer_mtu()
+    }
+
+    fn local_mac(&self, rail: usize) -> frame::MacAddr {
+        self.inner.local_mac(rail)
+    }
+
+    fn peer_mac(&self, rail: usize) -> frame::MacAddr {
+        self.inner.peer_mac(rail)
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner.now_ns()
+    }
+
+    fn send(&mut self, rail: usize, frame: Frame) -> bool {
+        let now = self.inner.now_ns();
+        self.flush_due(now);
+        self.stats.frames_seen += 1;
+        let seq = frame.header.seq as u64;
+        let d = draw_decision(&mut self.lanes[rail].decision_rng, &self.cfg);
+        let (burst_loss, burst_corrupt) = self.lanes[rail].burst_eval(now);
+        let lane = &mut self.lanes[rail];
+
+        // Scripted blackout: the frame never makes it onto the wire. The
+        // send still "succeeds" — accepted, not delivered, exactly the
+        // trait's loss semantics.
+        if covered(&lane.local_down, now) || covered(&lane.peer_down, now) {
+            self.stats.blackout_dropped += 1;
+            if !lane.in_blackout {
+                lane.in_blackout = true;
+                self.flight.note(
+                    FlightCode::FaultInjected,
+                    self.node,
+                    None,
+                    Some(rail as u32),
+                    0,
+                    now,
+                    now,
+                );
+            }
+            return true;
+        }
+        lane.in_blackout = false;
+
+        if d.corrupt || burst_corrupt {
+            self.stats.corrupt_dropped += 1;
+            self.flight.note(
+                FlightCode::FrameCorrupt,
+                self.node,
+                None,
+                Some(rail as u32),
+                seq,
+                0,
+                now,
+            );
+            return true;
+        }
+        if d.drop || burst_loss {
+            self.stats.dropped += 1;
+            self.flight.note(
+                FlightCode::FrameDrop,
+                self.node,
+                None,
+                Some(rail as u32),
+                seq,
+                0,
+                now,
+            );
+            return true;
+        }
+
+        let mut release = now.saturating_add(self.cfg.delay_ns);
+        if d.reorder {
+            self.stats.reordered += 1;
+            release = release.saturating_add(self.cfg.reorder_delay_ns);
+        }
+        // Peer receive path stalled: hold until the stall ends (the frames
+        // netsim would park in the frozen NIC).
+        if let Some(end) = stall_release(&self.lanes[rail].peer_stall, release) {
+            self.stats.stall_held += 1;
+            release = release.max(end);
+        }
+
+        let dup = d.dup;
+        if dup {
+            self.stats.duplicated += 1;
+        }
+        let accepted = if release > now {
+            self.stats.delayed += 1;
+            self.hold(release, rail, frame.clone());
+            true
+        } else {
+            self.inner.send(rail, frame.clone())
+        };
+        if dup {
+            // The duplicate goes out immediately — if the original is
+            // held, the copy overtakes it, which is also a reordering.
+            let _ = self.inner.send(rail, frame);
+        }
+        accepted
+    }
+
+    fn next(&mut self) -> Option<BpRx> {
+        self.flush_due(self.inner.now_ns());
+        self.inner.next()
+    }
+
+    fn tx_backlog_ns(&self, rail: usize) -> u64 {
+        self.inner.tx_backlog_ns(rail)
+    }
+
+    fn advance(&mut self, until_ns: u64) -> u64 {
+        loop {
+            let now = self.inner.now_ns();
+            self.flush_due(now);
+            // Never sleep through a hold-queue release: advance in steps
+            // bounded by the earliest pending release.
+            let target = match self.held.first().map(|h| h.release_ns) {
+                Some(r) if r < until_ns => r.max(now.saturating_add(1)),
+                _ => until_ns,
+            };
+            let reached = self.inner.advance(target);
+            self.flush_due(reached);
+            if reached >= until_ns {
+                return reached;
+            }
+            if reached < target {
+                // The inner backend stopped early: frames arrived somewhere
+                // on the fabric. Hand control back so the driver polls.
+                return reached;
+            }
+        }
+    }
+}
+
+/// If `t` falls inside a stall interval, the instant the stall ends.
+fn stall_release(intervals: &[(u64, u64)], t: u64) -> Option<u64> {
+    intervals
+        .iter()
+        .take_while(|&&(from, _)| from <= t)
+        .find(|&&(_, to)| t < to)
+        .map(|&(_, to)| to)
+}
+
+/// Seed of the base-decision stream for `(seed, node, rail)`.
+fn decision_seed(seed: u64, node: usize, rail: usize) -> u64 {
+    mix(seed, node, rail, 0xD1CE)
+}
+
+/// splitmix64-style seed derivation; never returns 0 (xorshift fixpoint).
+fn mix(seed: u64, node: usize, rail: usize, salt: u64) -> u64 {
+    let mut z = seed
+        ^ (node as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+        ^ (rail as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25)
+        ^ salt;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z == 0 {
+        0x9E37_79B9_7F4A_7C15
+    } else {
+        z
+    }
+}
+
+/// xorshift64* step.
+fn xorshift(s: &mut u64) -> u64 {
+    let mut x = *s;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *s = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Uniform draw in `[0, 1)`.
+fn draw_f64(s: &mut u64) -> f64 {
+    (xorshift(s) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One frame's base decision: exactly four draws, in a fixed order, so the
+/// stream position is a pure function of the frame index.
+fn draw_decision(rng: &mut u64, cfg: &ChaosConfig) -> ChaosDecision {
+    let r_corrupt = draw_f64(rng);
+    let r_drop = draw_f64(rng);
+    let r_dup = draw_f64(rng);
+    let r_reorder = draw_f64(rng);
+    ChaosDecision {
+        corrupt: r_corrupt < cfg.corrupt.clamp(0.0, 1.0),
+        drop: r_drop < cfg.drop.clamp(0.0, 1.0),
+        dup: r_dup < cfg.dup.clamp(0.0, 1.0),
+        reorder: r_reorder < cfg.reorder.clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use frame::{FrameFlags, FrameHeader, FrameKind, MacAddr};
+    use netsim::time::ms;
+
+    /// A recording backend with a manually stepped clock: `advance` jumps
+    /// straight to the deadline, `send` logs `(rail, seq)`.
+    struct MockBp {
+        rails: usize,
+        now: u64,
+        sent: Vec<(usize, u32)>,
+    }
+
+    impl MockBp {
+        fn new(rails: usize) -> Self {
+            Self {
+                rails,
+                now: 0,
+                sent: Vec::new(),
+            }
+        }
+    }
+
+    impl Backplane for MockBp {
+        fn rails(&self) -> usize {
+            self.rails
+        }
+        fn mtu(&self) -> usize {
+            frame::MAX_PAYLOAD
+        }
+        fn peer_mtu(&self) -> usize {
+            frame::MAX_PAYLOAD
+        }
+        fn local_mac(&self, rail: usize) -> MacAddr {
+            MacAddr::new(0, rail as u8)
+        }
+        fn peer_mac(&self, rail: usize) -> MacAddr {
+            MacAddr::new(1, rail as u8)
+        }
+        fn now_ns(&self) -> u64 {
+            self.now
+        }
+        fn send(&mut self, rail: usize, frame: Frame) -> bool {
+            self.sent.push((rail, frame.header.seq));
+            true
+        }
+        fn next(&mut self) -> Option<BpRx> {
+            None
+        }
+        fn tx_backlog_ns(&self, _rail: usize) -> u64 {
+            0
+        }
+        fn advance(&mut self, until_ns: u64) -> u64 {
+            self.now = self.now.max(until_ns);
+            self.now
+        }
+    }
+
+    fn test_frame(seq: u32) -> Frame {
+        Frame {
+            src: MacAddr::new(0, 0),
+            dst: MacAddr::new(1, 0),
+            header: FrameHeader {
+                kind: FrameKind::Data,
+                flags: FrameFlags::empty(),
+                conn: 0,
+                seq,
+                ack: 0,
+                op_id: 0,
+                op_total_len: 0,
+                fence_floor: 0,
+                remote_addr: 0,
+                aux: 0,
+            },
+            payload: Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn decisions_match_observed_effects_with_zero_delay() {
+        let cfg = ChaosConfig::new(42)
+            .with_drop(0.3)
+            .with_dup(0.2)
+            .with_corrupt(0.1);
+        let n = 200;
+        let decisions = cfg.decisions_for(0, 0, n);
+        let mut bp = FaultBackplane::new(MockBp::new(1), 0, &cfg);
+        for seq in 0..n as u32 {
+            assert!(bp.send(0, test_frame(seq)));
+        }
+        let mut expect: Vec<(usize, u32)> = Vec::new();
+        for (seq, d) in decisions.iter().enumerate() {
+            if d.corrupt || d.drop {
+                continue;
+            }
+            expect.push((0, seq as u32));
+            if d.dup {
+                expect.push((0, seq as u32));
+            }
+        }
+        assert_eq!(bp.inner().sent, expect);
+        let s = bp.stats();
+        assert_eq!(s.frames_seen, n as u64);
+        assert!(s.dropped > 0 && s.duplicated > 0 && s.corrupt_dropped > 0);
+        assert_eq!(
+            s.frames_seen - s.dropped - s.corrupt_dropped + s.duplicated,
+            bp.inner().sent.len() as u64
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream_per_lane() {
+        let cfg = ChaosConfig::new(7).with_drop(0.5).with_reorder(0.25, 10);
+        assert_eq!(cfg.decisions_for(0, 1, 64), cfg.decisions_for(0, 1, 64));
+        // Different lanes draw different streams (overwhelmingly likely to
+        // differ over 64 frames at p=0.5).
+        assert_ne!(cfg.decisions_for(0, 0, 64), cfg.decisions_for(0, 1, 64));
+        assert_ne!(cfg.decisions_for(0, 0, 64), cfg.decisions_for(1, 0, 64));
+    }
+
+    #[test]
+    fn blackout_window_drops_then_recovers() {
+        let plan = netsim::FaultPlan::new().rail_down(ms(1), 0).rail_up(ms(2), 0);
+        let cfg = ChaosConfig::new(1).with_plan(plan);
+        let mut bp = FaultBackplane::new(MockBp::new(1), 0, &cfg);
+        bp.send(0, test_frame(0)); // t=0: before the blackout
+        bp.advance(ms(1).as_nanos() + 1);
+        assert!(bp.send(0, test_frame(1))); // inside: accepted, dropped
+        bp.advance(ms(2).as_nanos() + 1);
+        bp.send(0, test_frame(2)); // after: delivered
+        assert_eq!(bp.inner().sent, vec![(0, 0), (0, 2)]);
+        assert_eq!(bp.stats().blackout_dropped, 1);
+    }
+
+    #[test]
+    fn peer_blackout_also_drops() {
+        // Peer (node 1) link down forever: node 0's frames are lost at
+        // arrival, so the interposer drops them at submission.
+        let plan = netsim::FaultPlan::new().link_down(ms(0), 1, 0);
+        let cfg = ChaosConfig::new(1).with_plan(plan);
+        let mut bp = FaultBackplane::new(MockBp::new(1), 0, &cfg);
+        bp.advance(1);
+        assert!(bp.send(0, test_frame(0)));
+        assert!(bp.inner().sent.is_empty());
+        assert_eq!(bp.stats().blackout_dropped, 1);
+    }
+
+    #[test]
+    fn reorder_holds_until_release() {
+        let cfg = ChaosConfig::new(3).with_reorder(1.0, 1000);
+        let mut bp = FaultBackplane::new(MockBp::new(1), 0, &cfg);
+        bp.send(0, test_frame(0));
+        assert!(bp.inner().sent.is_empty(), "held for reordering");
+        bp.advance(500);
+        assert!(bp.inner().sent.is_empty(), "not due yet");
+        bp.advance(2000);
+        assert_eq!(bp.inner().sent, vec![(0, 0)]);
+        assert_eq!(bp.stats().reordered, 1);
+        assert_eq!(bp.stats().delayed, 1);
+    }
+
+    #[test]
+    fn nic_stall_holds_frames_until_stall_end() {
+        let plan = netsim::FaultPlan::new().nic_stall(ms(1), 1, 0, ms(4));
+        let cfg = ChaosConfig::new(9).with_plan(plan);
+        let mut bp = FaultBackplane::new(MockBp::new(1), 0, &cfg);
+        bp.advance(ms(2).as_nanos()); // inside the peer's stall window
+        bp.send(0, test_frame(0));
+        assert!(bp.inner().sent.is_empty(), "held by the peer stall");
+        bp.advance(ms(5).as_nanos() + 1);
+        assert_eq!(bp.inner().sent, vec![(0, 0)]);
+        assert_eq!(bp.stats().stall_held, 1);
+    }
+
+    #[test]
+    fn duplicate_overtakes_held_original() {
+        let cfg = ChaosConfig::new(11).with_delay(100).with_dup(1.0);
+        let mut bp = FaultBackplane::new(MockBp::new(1), 0, &cfg);
+        bp.send(0, test_frame(5));
+        // The copy went straight through; the original is still held.
+        assert_eq!(bp.inner().sent, vec![(0, 5)]);
+        bp.advance(200);
+        assert_eq!(bp.inner().sent, vec![(0, 5), (0, 5)]);
+        assert_eq!(bp.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn burst_process_loses_frames_in_bad_state() {
+        let ge = GilbertElliott::bursty_loss(0.5, 0.1, 1.0);
+        let plan = netsim::FaultPlan::new().burst(
+            netsim::time::ms(0),
+            netsim::FaultTarget::Rail { rail: 0 },
+            ge,
+        );
+        let cfg = ChaosConfig::new(17).with_plan(plan);
+        let mut bp = FaultBackplane::new(MockBp::new(1), 0, &cfg);
+        for seq in 0..200u32 {
+            bp.send(0, test_frame(seq));
+        }
+        let s = bp.stats();
+        assert!(s.dropped > 0, "bad state at loss 1.0 must drop: {s:?}");
+        assert!(
+            (bp.inner().sent.len() as u64) + s.dropped == 200,
+            "every frame either delivered or burst-dropped: {s:?}"
+        );
+    }
+}

@@ -10,11 +10,23 @@
 //! Frames cross the sockets in the MultiEdge wire format
 //! ([`frame::encode_frame_into`] / [`frame::decode_frame`]); each datagram
 //! is one frame. The Ethernet MAC addresses are not carried on the wire —
-//! a datagram arriving on node `n`'s rail-`r` socket can only have come
+//! a datagram arriving on node `n`'s rail-`r` socket is *expected* to come
 //! from the peer's rail-`r` socket, so the addresses are reconstructed from
-//! (node, rail) exactly as a NIC would fill them in. Datagrams that fail to
-//! decode (truncated, bad checksum) are counted and dropped, the role the
-//! Ethernet FCS plays on a real wire.
+//! (node, rail) exactly as a NIC would fill them in. The expectation is now
+//! **checked**, not assumed: the sockets are unconnected, every received
+//! datagram's source address is compared against the peer socket bound at
+//! fabric construction, and a mismatch is counted, dropped, and surfaced as
+//! a typed [`UdpRxError::UnknownSource`] — the multi-host-addressing gap
+//! the ROADMAP notes, made visible instead of silently misattributed.
+//!
+//! Datagrams that fail to decode split two ways, the role the Ethernet FCS
+//! plays on a real wire: checksum failures count as
+//! [`UdpFabricStats::frames_corrupt_dropped`] (bit damage in flight) and
+//! are noted as flight-recorder `frame_corrupt` events when a recorder is
+//! attached; structurally invalid datagrams (truncated, bad kind/length)
+//! count as [`UdpFabricStats::frames_malformed_dropped`]. Both kinds also
+//! park a bounded [`UdpRxError`] log readable via
+//! [`UdpFabric::take_rx_error`].
 //!
 //! The clock is wall time: nanoseconds since the fabric was created. All
 //! protocol deadlines therefore run on real time here, which is the whole
@@ -25,29 +37,144 @@
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::io::ErrorKind;
-use std::net::UdpSocket;
+use std::net::{SocketAddr, UdpSocket};
 use std::rc::Rc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use frame::{decode_frame, encode_frame_into, Frame, MacAddr};
+use frame::{decode_frame, encode_frame_into, CodecError, Frame, MacAddr};
+use me_trace::{FlightCode, FlightRecorder};
 
 use super::{Backplane, BpRx};
 
 /// Largest encoded frame: header + max payload (fits any MultiEdge frame).
 const DATAGRAM_BUF: usize = frame::HEADER_LEN + frame::MAX_PAYLOAD;
 
+/// Most parked [`UdpRxError`]s retained before the oldest are discarded.
+const RX_ERROR_LOG: usize = 32;
+
+/// How the idle loop in [`Backplane::advance`] waits (see
+/// [`UdpFabric::new_with`]). The defaults spin briefly for the
+/// microsecond-scale loopback latencies, then yield, then sleep — so a
+/// long protocol deadline (a backed-off RTO during a blackout) does not
+/// burn a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpFabricConfig {
+    /// Busy-spin iterations before starting to yield the core.
+    pub spin_before_yield: u32,
+    /// `yield_now` iterations before falling back to sleeping.
+    pub yields_before_sleep: u32,
+    /// Sleep granularity once spinning and yielding are exhausted (capped
+    /// by the remaining deadline).
+    pub idle_sleep: Duration,
+}
+
+impl Default for UdpFabricConfig {
+    fn default() -> Self {
+        Self {
+            spin_before_yield: 64,
+            yields_before_sleep: 256,
+            idle_sleep: Duration::from_micros(50),
+        }
+    }
+}
+
+/// Why a received datagram was dropped instead of delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UdpRxError {
+    /// A datagram arrived from an address that is not the peer socket for
+    /// this `(node, rail)` — the two-node loopback reconstruction would
+    /// have mislabeled it, so it is rejected instead.
+    UnknownSource {
+        /// Node whose socket received the datagram.
+        node: usize,
+        /// Rail index of that socket.
+        rail: usize,
+        /// The unexpected source address.
+        from: SocketAddr,
+    },
+    /// The datagram decoded structurally but failed the frame checksum —
+    /// bit damage in flight, the FCS-drop case.
+    Corrupt {
+        /// Node whose socket received the datagram.
+        node: usize,
+        /// Rail index of that socket.
+        rail: usize,
+        /// The checksum failure.
+        err: CodecError,
+    },
+    /// The datagram is not a MultiEdge frame at all (truncated, bad kind,
+    /// bad length).
+    Malformed {
+        /// Node whose socket received the datagram.
+        node: usize,
+        /// Rail index of that socket.
+        rail: usize,
+        /// The structural decode failure.
+        err: CodecError,
+    },
+}
+
+impl std::fmt::Display for UdpRxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UdpRxError::UnknownSource { node, rail, from } => write!(
+                f,
+                "datagram from unknown source {from} on node {node} rail {rail}"
+            ),
+            UdpRxError::Corrupt { node, rail, err } => write!(
+                f,
+                "corrupt datagram on node {node} rail {rail}: {err:?}"
+            ),
+            UdpRxError::Malformed { node, rail, err } => write!(
+                f,
+                "malformed datagram on node {node} rail {rail}: {err:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UdpRxError {}
+
+/// Receive-path counters of one [`UdpFabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UdpFabricStats {
+    /// Datagrams decoded and delivered to a node's queue.
+    pub delivered: u64,
+    /// Datagrams dropped on a checksum failure (the FCS role).
+    pub frames_corrupt_dropped: u64,
+    /// Datagrams dropped as structurally invalid (truncated, bad header).
+    pub frames_malformed_dropped: u64,
+    /// Datagrams dropped because their source address was not the expected
+    /// peer socket.
+    pub unknown_source_dropped: u64,
+}
+
 /// All sockets of one two-node loopback fabric (see module docs).
 pub struct UdpFabric {
-    /// `sockets[node][rail]`, each connected to `sockets[1-node][rail]`.
+    /// `sockets[node][rail]`; unconnected, sends address
+    /// `peer_addrs[node][rail]`.
     sockets: Vec<Vec<UdpSocket>>,
+    /// `peer_addrs[node][rail]`: where node's rail sends, and the only
+    /// source address its receives accept.
+    peer_addrs: Vec<Vec<SocketAddr>>,
     /// Per-node receive queues fed by [`UdpFabric::poll_all`].
     queues: [RefCell<VecDeque<BpRx>>; 2],
     /// Wall-clock epoch: `now_ns` is elapsed time since this instant.
     epoch: Instant,
+    /// Idle-wait behavior of `advance`.
+    cfg: UdpFabricConfig,
     /// Total datagrams delivered (the advance early-stop signal).
     delivered: Cell<u64>,
-    /// Datagrams that failed to decode and were dropped.
-    decode_dropped: Cell<u64>,
+    /// Datagrams dropped on checksum failure.
+    corrupt_dropped: Cell<u64>,
+    /// Datagrams dropped as structurally invalid.
+    malformed_dropped: Cell<u64>,
+    /// Datagrams dropped for an unexpected source address.
+    unknown_source_dropped: Cell<u64>,
+    /// Bounded log of receive errors (newest kept, oldest discarded).
+    rx_errors: RefCell<VecDeque<UdpRxError>>,
+    /// Optional flight recorder: corrupt drops are noted as trace events.
+    flight: RefCell<FlightRecorder>,
     /// Reusable receive buffer.
     buf: RefCell<Box<[u8]>>,
     /// Reusable encode scratch.
@@ -55,12 +182,22 @@ pub struct UdpFabric {
 }
 
 impl UdpFabric {
-    /// Bind and cross-connect `2 × rails` loopback sockets.
+    /// Bind `2 × rails` loopback sockets with the default
+    /// [`UdpFabricConfig`].
     ///
     /// # Errors
     ///
-    /// Returns any socket `bind`/`connect`/configuration error verbatim.
+    /// Returns any socket `bind`/configuration error verbatim.
     pub fn new(rails: usize) -> std::io::Result<Rc<UdpFabric>> {
+        Self::new_with(rails, UdpFabricConfig::default())
+    }
+
+    /// Bind `2 × rails` loopback sockets with explicit idle-wait behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket `bind`/configuration error verbatim.
+    pub fn new_with(rails: usize, cfg: UdpFabricConfig) -> std::io::Result<Rc<UdpFabric>> {
         assert!(rails >= 1, "a fabric needs at least one rail");
         let mut sockets: Vec<Vec<UdpSocket>> = Vec::with_capacity(2);
         for _node in 0..2 {
@@ -72,19 +209,26 @@ impl UdpFabric {
             }
             sockets.push(per_rail);
         }
-        let (node0, node1) = (&sockets[0], &sockets[1]);
-        for (sa, sb) in node0.iter().zip(node1.iter()) {
-            let a = sa.local_addr()?;
-            let b = sb.local_addr()?;
-            sa.connect(b)?;
-            sb.connect(a)?;
+        let mut peer_addrs: Vec<Vec<SocketAddr>> = Vec::with_capacity(2);
+        for node in 0..2 {
+            let mut addrs = Vec::with_capacity(rails);
+            for sock in &sockets[1 - node] {
+                addrs.push(sock.local_addr()?);
+            }
+            peer_addrs.push(addrs);
         }
         Ok(Rc::new(UdpFabric {
             sockets,
+            peer_addrs,
             queues: [RefCell::default(), RefCell::default()],
             epoch: Instant::now(),
+            cfg,
             delivered: Cell::new(0),
-            decode_dropped: Cell::new(0),
+            corrupt_dropped: Cell::new(0),
+            malformed_dropped: Cell::new(0),
+            unknown_source_dropped: Cell::new(0),
+            rx_errors: RefCell::new(VecDeque::new()),
+            flight: RefCell::new(FlightRecorder::disabled()),
             buf: RefCell::new(vec![0u8; DATAGRAM_BUF].into_boxed_slice()),
             scratch: RefCell::new(Vec::with_capacity(DATAGRAM_BUF)),
         }))
@@ -104,9 +248,53 @@ impl UdpFabric {
         )
     }
 
-    /// Datagrams that failed to decode and were dropped (the FCS stand-in).
+    /// Receive-path counters.
+    pub fn stats(&self) -> UdpFabricStats {
+        UdpFabricStats {
+            delivered: self.delivered.get(),
+            frames_corrupt_dropped: self.corrupt_dropped.get(),
+            frames_malformed_dropped: self.malformed_dropped.get(),
+            unknown_source_dropped: self.unknown_source_dropped.get(),
+        }
+    }
+
+    /// Datagrams that failed to decode and were dropped — corrupt plus
+    /// malformed, the FCS stand-in (kept for callers of the pre-split
+    /// counter).
     pub fn decode_dropped(&self) -> u64 {
-        self.decode_dropped.get()
+        self.corrupt_dropped.get() + self.malformed_dropped.get()
+    }
+
+    /// The oldest retained receive error, if any (the log keeps the newest
+    /// `RX_ERROR_LOG` entries).
+    pub fn take_rx_error(&self) -> Option<UdpRxError> {
+        self.rx_errors.borrow_mut().pop_front()
+    }
+
+    /// Record corrupt-frame drops into `flight` as `frame_corrupt` events.
+    pub fn set_flight(&self, flight: &FlightRecorder) {
+        *self.flight.borrow_mut() = flight.clone();
+    }
+
+    /// The local address of `node`'s socket on `rail` (testing hook for
+    /// foreign-datagram scenarios).
+    pub fn local_addr(&self, node: usize, rail: usize) -> SocketAddr {
+        self.sockets[node][rail]
+            .local_addr()
+            .expect("bound socket has an address")
+    }
+
+    /// Chaos/testing hook: push raw bytes from `node`'s rail socket to the
+    /// peer, bypassing frame encoding — how the corrupt/malformed receive
+    /// paths are exercised against a real kernel round trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket send error verbatim.
+    pub fn inject_raw(&self, node: usize, rail: usize, bytes: &[u8]) -> std::io::Result<()> {
+        self.sockets[node][rail]
+            .send_to(bytes, self.peer_addrs[node][rail])
+            .map(|_| ())
     }
 
     fn rails(&self) -> usize {
@@ -117,6 +305,14 @@ impl UdpFabric {
         self.epoch.elapsed().as_nanos() as u64
     }
 
+    fn push_rx_error(&self, err: UdpRxError) {
+        let mut log = self.rx_errors.borrow_mut();
+        if log.len() >= RX_ERROR_LOG {
+            log.pop_front();
+        }
+        log.push_back(err);
+    }
+
     /// Drain every socket of both nodes into the per-node queues.
     fn poll_all(&self) {
         let now = self.now_ns();
@@ -124,8 +320,18 @@ impl UdpFabric {
         for node in 0..2 {
             for (rail, sock) in self.sockets[node].iter().enumerate() {
                 loop {
-                    match sock.recv(&mut buf[..]) {
-                        Ok(n) => {
+                    match sock.recv_from(&mut buf[..]) {
+                        Ok((n, from)) => {
+                            if from != self.peer_addrs[node][rail] {
+                                self.unknown_source_dropped
+                                    .set(self.unknown_source_dropped.get() + 1);
+                                self.push_rx_error(UdpRxError::UnknownSource {
+                                    node,
+                                    rail,
+                                    from,
+                                });
+                                continue;
+                            }
                             let src = MacAddr::new((1 - node) as u16, rail as u8);
                             let dst = MacAddr::new(node as u16, rail as u8);
                             match decode_frame(src, dst, &buf[..n]) {
@@ -137,8 +343,28 @@ impl UdpFabric {
                                     });
                                     self.delivered.set(self.delivered.get() + 1);
                                 }
-                                Err(_) => {
-                                    self.decode_dropped.set(self.decode_dropped.get() + 1);
+                                Err(err @ CodecError::Checksum { .. }) => {
+                                    self.corrupt_dropped
+                                        .set(self.corrupt_dropped.get() + 1);
+                                    self.flight.borrow().note(
+                                        FlightCode::FrameCorrupt,
+                                        node,
+                                        None,
+                                        Some(rail as u32),
+                                        0,
+                                        0,
+                                        now,
+                                    );
+                                    self.push_rx_error(UdpRxError::Corrupt { node, rail, err });
+                                }
+                                Err(err) => {
+                                    self.malformed_dropped
+                                        .set(self.malformed_dropped.get() + 1);
+                                    self.push_rx_error(UdpRxError::Malformed {
+                                        node,
+                                        rail,
+                                        err,
+                                    });
                                 }
                             }
                         }
@@ -157,7 +383,9 @@ impl UdpFabric {
         encode_frame_into(frame, &mut scratch);
         // A failed send (full socket buffer) is a transmit-queue overflow:
         // the frame is lost and recovered by the reliability machinery.
-        self.sockets[node][rail].send(&scratch).is_ok()
+        self.sockets[node][rail]
+            .send_to(&scratch, self.peer_addrs[node][rail])
+            .is_ok()
     }
 }
 
@@ -165,6 +393,13 @@ impl UdpFabric {
 pub struct UdpBackplane {
     fabric: Rc<UdpFabric>,
     node: usize,
+}
+
+impl UdpBackplane {
+    /// The shared fabric (stats, error log, injection hooks).
+    pub fn fabric(&self) -> &Rc<UdpFabric> {
+        &self.fabric
+    }
 }
 
 impl Backplane for UdpBackplane {
@@ -215,6 +450,7 @@ impl Backplane for UdpBackplane {
 
     fn advance(&mut self, until_ns: u64) -> u64 {
         let base = self.fabric.delivered.get();
+        let cfg = self.fabric.cfg;
         let mut spins = 0u32;
         loop {
             self.fabric.poll_all();
@@ -225,14 +461,18 @@ impl Backplane for UdpBackplane {
             if now >= until_ns {
                 return now;
             }
-            // Busy-wait with backoff: loopback latencies are microseconds,
-            // so spin first, then yield the core while waiting out longer
-            // deadlines (delayed acks, RTO).
-            spins += 1;
-            if spins < 64 {
+            // Graduated backoff: loopback latencies are microseconds, so
+            // spin first; then yield; then — waiting out a long deadline
+            // (delayed acks, a backed-off RTO during a blackout) — sleep in
+            // bounded slices instead of burning the core.
+            spins = spins.saturating_add(1);
+            if spins < cfg.spin_before_yield {
                 std::hint::spin_loop();
-            } else {
+            } else if spins < cfg.spin_before_yield.saturating_add(cfg.yields_before_sleep) {
                 std::thread::yield_now();
+            } else {
+                let remaining = Duration::from_nanos(until_ns - now);
+                std::thread::sleep(cfg.idle_sleep.min(remaining));
             }
         }
     }

@@ -28,7 +28,7 @@ use std::collections::VecDeque;
 
 use bytes::Bytes;
 use frame::{FastMap, Frame, FrameFlags, FrameHeader, FrameKind, NackRanges};
-use me_trace::{Leg, SpanKey, SpanKind, SpanRecorder};
+use me_trace::{FlightCode, FlightRecorder, Leg, SpanKey, SpanKind, SpanRecorder};
 use netsim::SimTime;
 
 use crate::config::ProtoConfig;
@@ -103,6 +103,11 @@ struct WConn {
     missing_scratch: Vec<(u64, u64)>,
     release_scratch: Release<WFrag>,
     fence_stall_start: FastMap<u64, u64>,
+    /// When the reorder buffer last went from empty to non-empty (`None`
+    /// while empty) — the liveness watchdog's fence-stall clock, tracked
+    /// unconditionally (unlike `fence_stall_start`, which serves span and
+    /// flight attribution).
+    buffered_since: Option<u64>,
 
     // ---- deadlines (backplane clock, ns; None = unarmed) ----
     ack_deadline: Option<u64>,
@@ -143,6 +148,7 @@ impl WConn {
             missing_scratch: Vec::new(),
             release_scratch: Release::default(),
             fence_stall_start: FastMap::default(),
+            buffered_since: None,
             ack_deadline: None,
             nack_deadline: None,
             rto_deadline: None,
@@ -152,6 +158,129 @@ impl WConn {
 
     fn in_flight(&self) -> u64 {
         self.sent_up_to - self.acked
+    }
+}
+
+/// Why a watchdog-guarded drive loop gave up — every chaos/soak scenario
+/// terminates with either completion or one of these within the watchdog
+/// deadline; the unbounded hang is not an outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer stopped responding: RTO backoff reached the
+    /// [`ProtoConfig::rto_storm_cap`] storm cap without acknowledgement
+    /// progress.
+    PeerUnreachable {
+        /// The endpoint whose retransmissions go unanswered.
+        node: usize,
+        /// RTO backoff exponent at trip time.
+        backoff: u32,
+        /// Nanoseconds without protocol progress.
+        idle_ns: u64,
+    },
+    /// Rail health declared every rail dead on some connection — there is
+    /// no eligible link left to carry traffic.
+    AllRailsDead {
+        /// The endpoint with no live rails.
+        node: usize,
+        /// Nanoseconds without protocol progress.
+        idle_ns: u64,
+    },
+    /// Fragments sat fence-blocked in a reorder buffer past the configured
+    /// bound (or at trip time with nothing else in flight).
+    FenceStallExceeded {
+        /// The endpoint holding the blocked fragments.
+        node: usize,
+        /// How long the oldest fragment has been held.
+        stalled_ns: u64,
+        /// Fragments currently held.
+        buffered: usize,
+    },
+    /// No protocol progress for the watchdog window and no sharper cause
+    /// above applies; both connections' states are attached for triage.
+    Stalled {
+        /// Nanoseconds without protocol progress.
+        idle_ns: u64,
+        /// Endpoint a's connection 0 state at trip time.
+        a: WireConnState,
+        /// Endpoint b's connection 0 state at trip time.
+        b: WireConnState,
+    },
+}
+
+impl WireError {
+    /// Stable discriminant recorded in flight-dump watchdog events.
+    pub fn code(&self) -> u64 {
+        match self {
+            WireError::PeerUnreachable { .. } => 1,
+            WireError::AllRailsDead { .. } => 2,
+            WireError::FenceStallExceeded { .. } => 3,
+            WireError::Stalled { .. } => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::PeerUnreachable {
+                node,
+                backoff,
+                idle_ns,
+            } => write!(
+                f,
+                "peer unreachable from node {node}: RTO backoff hit the storm cap \
+                 ({backoff} doublings, {idle_ns}ns without progress)"
+            ),
+            WireError::AllRailsDead { node, idle_ns } => write!(
+                f,
+                "all rails dead on node {node} ({idle_ns}ns without progress)"
+            ),
+            WireError::FenceStallExceeded {
+                node,
+                stalled_ns,
+                buffered,
+            } => write!(
+                f,
+                "fence stall exceeded on node {node}: {buffered} fragment(s) \
+                 held for {stalled_ns}ns"
+            ),
+            WireError::Stalled { idle_ns, a, b } => write!(
+                f,
+                "backplane drive stalled: no protocol progress for {idle_ns}ns \
+                 (a: {a:?}, b: {b:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Liveness bounds for [`drive_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriveLimits {
+    /// Trip the watchdog after this long without protocol progress
+    /// (acknowledgement, cumulative, fence-release or receive-counter
+    /// movement — timer fires alone are not progress).
+    pub progress_timeout_ns: u64,
+    /// Absolute wall/virtual budget for the whole drive, even if progress
+    /// trickles.
+    pub hard_budget_ns: u64,
+    /// Trip when fragments sit fence-blocked this long (0 disables the
+    /// dedicated fence watchdog; a fence stall that starves all progress
+    /// still trips the progress watchdog).
+    pub fence_stall_limit_ns: u64,
+}
+
+impl DriveLimits {
+    /// The legacy single-budget shape [`drive`] uses: the budget is the
+    /// progress window, the hard ceiling is four times that, no dedicated
+    /// fence watchdog.
+    pub fn budget(budget_ns: u64) -> Self {
+        Self {
+            progress_timeout_ns: budget_ns,
+            hard_budget_ns: budget_ns.saturating_mul(4),
+            fence_stall_limit_ns: 0,
+        }
     }
 }
 
@@ -181,11 +310,16 @@ pub struct WireEndpoint {
     node: usize,
     proto: ProtoConfig,
     spans: SpanRecorder,
+    flight: FlightRecorder,
     stats: ProtoStats,
     conns: Vec<WConn>,
     memory: AppMemory,
     notifications: VecDeque<Notification>,
     completions: VecDeque<CompletedWrite>,
+    /// NACK-triggered retransmissions suppressed by the
+    /// [`ProtoConfig::nack_resend_burst`] cap (endpoint-local, not part of
+    /// the fingerprinted [`ProtoStats`]).
+    storm_suppressed: u64,
     rng: u64,
 }
 
@@ -208,13 +342,89 @@ impl WireEndpoint {
             node,
             proto: proto.clone(),
             spans,
+            flight: FlightRecorder::disabled(),
             stats: ProtoStats::default(),
             conns: Vec::new(),
             memory: AppMemory::new(),
             notifications: VecDeque::new(),
             completions: VecDeque::new(),
+            storm_suppressed: 0,
             rng: 0x9e37_79b9_7f4a_7c15 ^ (node as u64) << 32,
         }
+    }
+
+    /// Attach a flight recorder: RTO backoffs, rail deaths/readmissions,
+    /// fence releases and watchdog trips are noted (and dump per the
+    /// recorder's triggers) from this endpoint on.
+    pub fn set_flight(&mut self, flight: &FlightRecorder) {
+        self.flight = flight.clone();
+    }
+
+    /// NACK-triggered retransmissions suppressed by the
+    /// [`ProtoConfig::nack_resend_burst`] storm cap.
+    pub fn storm_suppressed(&self) -> u64 {
+        self.storm_suppressed
+    }
+
+    /// True when every connection is fully quiesced: nothing queued or
+    /// unacknowledged to send, no receive gap, no fence-blocked fragments.
+    /// The graceful-shutdown criterion — see [`drain`].
+    pub fn quiesced(&self) -> bool {
+        self.conns.iter().all(|c| {
+            c.send_queue.is_empty()
+                && c.acked == c.next_seq
+                && !c.seqs.has_gap()
+                && c.order.buffered() == 0
+        })
+    }
+
+    /// Abandon connection `conn`'s in-flight sends after a fatal
+    /// [`WireError`]: clears the send queue, disarms every timer, and
+    /// returns the operation ids that will never complete — the casualties
+    /// a caller reports instead of waiting on completions that cannot
+    /// arrive.
+    pub fn abort_pending(&mut self, conn: usize) -> Vec<u64> {
+        let c = &mut self.conns[conn];
+        c.send_queue.clear();
+        c.ack_deadline = None;
+        c.nack_deadline = None;
+        c.rto_deadline = None;
+        c.pending_write_ops.drain(..).map(|(_, op, _)| op).collect()
+    }
+
+    /// Monotone counter that moves iff real protocol progress happened:
+    /// receive counters plus acknowledgement, cumulative and fence-release
+    /// frontiers. Timer fires and retransmissions deliberately do not move
+    /// it — a peer retransmitting into a dead fabric is not progressing.
+    fn progress_token(&self) -> u64 {
+        let mut t = self.stats.data_frames_recv
+            + self.stats.ctrl_frames_recv
+            + self.stats.dup_frames_recv
+            + self.stats.notifications;
+        for c in &self.conns {
+            t += c.acked + c.seqs.cumulative() + c.order.applied_below();
+        }
+        t
+    }
+
+    /// Fewest live rails across connections (None with no connections).
+    fn min_active_rails(&self) -> Option<usize> {
+        self.conns.iter().map(|c| c.rails.active_rails()).min()
+    }
+
+    /// Largest RTO backoff exponent across connections.
+    fn max_backoff(&self) -> u32 {
+        self.conns.iter().map(|c| c.rtt.backoff()).max().unwrap_or(0)
+    }
+
+    /// Earliest instant any connection's reorder buffer became non-empty.
+    fn oldest_buffered_since(&self) -> Option<u64> {
+        self.conns.iter().filter_map(|c| c.buffered_since).min()
+    }
+
+    /// Total fence-blocked fragments across connections.
+    fn fence_buffered_total(&self) -> usize {
+        self.conns.iter().map(|c| c.order.buffered()).sum()
     }
 
     /// This endpoint's node id.
@@ -468,11 +678,20 @@ impl WireEndpoint {
             }
         }
         for ev in rail_events {
-            let RailEvent::Readmitted(_) = ev else {
+            let RailEvent::Readmitted(rail) = ev else {
                 continue;
             };
             self.stats.rail_up_events += 1;
             self.conns[conn].stats.rail_up_events += 1;
+            self.flight.note(
+                FlightCode::RailUp,
+                self.node,
+                Some(conn),
+                Some(rail as u32),
+                0,
+                0,
+                now,
+            );
         }
         for &(op, created) in &completed {
             let key = SpanKey::new(node, conn, to_wire(op));
@@ -491,8 +710,14 @@ impl WireEndpoint {
     fn process_nack<B: Backplane>(&mut self, conn: usize, f: &Frame, bp: &mut B) {
         let ranges = NackRanges::decode(&f.payload);
         let window = self.proto.window;
+        // Storm bound: one NACK may trigger at most `nack_resend_burst`
+        // retransmissions. Anything beyond the cap stays in the window and
+        // is recovered by the receiver's paced NACK repeats — a single
+        // control frame can never unleash a full-window salvo.
+        let burst_cap = (self.proto.nack_resend_burst.max(1) as u64).min(window) as usize;
         let now = bp.now_ns();
         let mut to_resend: Vec<u64> = Vec::new();
+        let mut suppressed = 0u64;
         {
             let c = &self.conns[conn];
             let acked = c.acked;
@@ -504,30 +729,38 @@ impl WireEndpoint {
                 }
                 for seq in from..to.min(from + window) {
                     if c.tx.contains(seq) {
-                        to_resend.push(seq);
+                        if to_resend.len() < burst_cap {
+                            to_resend.push(seq);
+                        } else {
+                            suppressed += 1;
+                        }
                     }
-                    if to_resend.len() as u64 >= window {
+                    if to_resend.len() as u64 + suppressed >= window {
                         break 'outer;
                     }
                 }
             }
         }
+        self.storm_suppressed += suppressed;
         // Each NACKed frame is a loss attributed to the rail that last
         // carried it — debit before the retransmit reassigns the rail.
-        let mut dead_rails = 0u64;
+        let mut dead_rails: Vec<usize> = Vec::new();
         {
             let c = &mut self.conns[conn];
             for &seq in &to_resend {
                 let rail = c.tx.get(seq).map(|s| s.rail);
                 if let Some(rail) = rail {
-                    if let Some(RailEvent::Dead(_)) = c.rails.on_loss(rail, seq, SimTime(now)) {
-                        dead_rails += 1;
+                    if let Some(RailEvent::Dead(r)) = c.rails.on_loss(rail, seq, SimTime(now)) {
+                        dead_rails.push(r);
                     }
                 }
             }
         }
-        self.stats.rail_down_events += dead_rails;
-        self.conns[conn].stats.rail_down_events += dead_rails;
+        self.stats.rail_down_events += dead_rails.len() as u64;
+        self.conns[conn].stats.rail_down_events += dead_rails.len() as u64;
+        for rail in dead_rails {
+            self.flight.rail_death(self.node, Some(conn), rail as u32, now);
+        }
         let n = to_resend.len() as u64;
         self.stats.retransmits_nack += n;
         self.conns[conn].stats.retransmits_nack += n;
@@ -541,6 +774,7 @@ impl WireEndpoint {
         let node = self.node;
         let peer = self.conns[conn].peer_node;
         let spans_on = self.spans.is_enabled();
+        let track_stalls = spans_on || self.flight.is_enabled();
         let (admit, seq) = {
             let c = &mut self.conns[conn];
             let seq = from_wire(c.seqs.cumulative(), f.header.seq);
@@ -599,12 +833,12 @@ impl WireEndpoint {
             let buffered_before = c.order.buffered();
             let mut release = std::mem::take(&mut c.release_scratch);
             c.order.offer_into(meta, payload, &mut release);
-            if c.order.buffered() > buffered_before && spans_on {
+            if c.order.buffered() > buffered_before && track_stalls {
                 // Held back by a fence: start the stall clock.
                 c.fence_stall_start.entry(op_id).or_insert(now);
             }
             // Stalled ops released by this fragment: attribute the stall.
-            if spans_on {
+            if track_stalls {
                 let released: Vec<(u64, u64)> = release
                     .apply
                     .iter()
@@ -617,13 +851,26 @@ impl WireEndpoint {
                 for (op, stalled_ns) in released {
                     if let Some(mi) = c.op_meta.get(&op) {
                         if mi.kind == FrameKind::Data {
-                            let origin =
-                                SpanKey::new(c.peer_node, c.peer_conn_id as usize, to_wire(op));
-                            self.spans.delivered(origin, now, stalled_ns);
+                            if spans_on {
+                                let origin = SpanKey::new(
+                                    c.peer_node,
+                                    c.peer_conn_id as usize,
+                                    to_wire(op),
+                                );
+                                self.spans.delivered(origin, now, stalled_ns);
+                            }
+                            self.flight.fence_release(node, conn, op, stalled_ns, now);
                         }
                     }
                 }
             }
+            // The watchdog's fence-stall clock, kept regardless of
+            // instrumentation: when did the buffer last become non-empty?
+            c.buffered_since = if c.order.buffered() > 0 {
+                c.buffered_since.or(Some(now))
+            } else {
+                None
+            };
             // Apply released fragments to memory.
             for (_, frag) in &release.apply {
                 if frag.kind == FrameKind::Data {
@@ -868,14 +1115,30 @@ impl WireEndpoint {
                 if rail_ev.is_some() {
                     c.stats.rail_down_events += 1;
                 }
-                (Some((seq, backoff)), true)
+                let dead_rail = match rail_ev {
+                    Some(RailEvent::Dead(r)) => Some(r),
+                    _ => None,
+                };
+                let rto_ns = c.rtt.current_rto().as_nanos();
+                (Some((seq, backoff, rail, dead_rail, rto_ns)), true)
             } else {
                 (None, true)
             }
         };
-        if let Some((seq, backoff)) = resend {
+        if let Some((seq, backoff, rail, dead_rail, rto_ns)) = resend {
             self.stats.retransmits_rto += 1;
             self.stats.rto_backoff_max = self.stats.rto_backoff_max.max(backoff as u64);
+            self.flight.rto_backoff(
+                self.node,
+                conn,
+                rail.map(|r| r as u32),
+                rto_ns,
+                backoff,
+                now,
+            );
+            if let Some(r) = dead_rail {
+                self.flight.rail_death(self.node, Some(conn), r as u32, now);
+            }
             self.transmit(conn, seq, true, bp);
         }
         if rearm {
@@ -1018,23 +1281,72 @@ impl WireEndpoint {
     }
 }
 
-/// Run two endpoints over a shared fabric until `done`, interleaving
-/// receive processing, timer fires and the caller's reaction logic
-/// (`react` runs after each poll round — post replies, count
-/// notifications). Advances the fabric to the earliest armed deadline when
-/// both endpoints go idle. Returns elapsed backplane-clock nanoseconds, or
-/// an error if `budget_ns` elapses before `done` — a stalled protocol,
-/// surfaced instead of hanging the caller.
-pub fn drive<BA: Backplane, BB: Backplane>(
+/// Classify a tripped watchdog into the sharpest [`WireError`] the two
+/// endpoints' state supports, checked in severity order.
+fn classify_stall(a: &WireEndpoint, b: &WireEndpoint, idle_ns: u64) -> WireError {
+    for ep in [a, b] {
+        if ep.min_active_rails() == Some(0) {
+            return WireError::AllRailsDead {
+                node: ep.node,
+                idle_ns,
+            };
+        }
+    }
+    for ep in [a, b] {
+        let backoff = ep.max_backoff();
+        if backoff >= ep.proto.rto_storm_cap {
+            return WireError::PeerUnreachable {
+                node: ep.node,
+                backoff,
+                idle_ns,
+            };
+        }
+    }
+    for ep in [a, b] {
+        let buffered = ep.fence_buffered_total();
+        if buffered > 0 {
+            return WireError::FenceStallExceeded {
+                node: ep.node,
+                stalled_ns: idle_ns,
+                buffered,
+            };
+        }
+    }
+    WireError::Stalled {
+        idle_ns,
+        a: a.conn_state(0),
+        b: b.conn_state(0),
+    }
+}
+
+/// Run two endpoints over a shared fabric until `done`, under explicit
+/// liveness bounds: interleaves receive processing, timer fires and the
+/// caller's reaction logic (`react` runs after each poll round — post
+/// replies, count notifications), and sleeps to the earliest armed
+/// deadline when both endpoints go idle.
+///
+/// A **progress watchdog** guards the loop: if no real protocol progress
+/// (acknowledgement/cumulative/fence frontiers, receive counters — *not*
+/// timer fires) happens for `limits.progress_timeout_ns`, or the drive
+/// exceeds `limits.hard_budget_ns` in total, the loop returns a typed
+/// [`WireError`] classified from the endpoints' state — all rails dead,
+/// peer unreachable past the RTO storm cap, a fence stall, or a plain
+/// stall — instead of polling forever. When a flight recorder is attached
+/// ([`WireEndpoint::set_flight`]), the trip is noted and a `watchdog`
+/// post-mortem dump is taken on both endpoints before returning. Returns
+/// elapsed backplane-clock nanoseconds on success.
+pub fn drive_with<BA: Backplane, BB: Backplane>(
     a: &mut WireEndpoint,
     bpa: &mut BA,
     b: &mut WireEndpoint,
     bpb: &mut BB,
     mut react: impl FnMut(&mut WireEndpoint, &mut BA, &mut WireEndpoint, &mut BB),
     mut done: impl FnMut(&WireEndpoint, &WireEndpoint) -> bool,
-    budget_ns: u64,
-) -> Result<u64, String> {
+    limits: DriveLimits,
+) -> Result<u64, WireError> {
     let start = bpa.now_ns();
+    let mut last_token = a.progress_token().wrapping_add(b.progress_token());
+    let mut last_progress = start;
     loop {
         let pa = a.poll(bpa);
         let pb = b.poll(bpb);
@@ -1042,20 +1354,49 @@ pub fn drive<BA: Backplane, BB: Backplane>(
         if done(a, b) {
             return Ok(bpa.now_ns() - start);
         }
+        let now = bpa.now_ns();
+        let token = a.progress_token().wrapping_add(b.progress_token());
+        if token != last_token {
+            last_token = token;
+            last_progress = now;
+        }
+        let idle = now.saturating_sub(last_progress);
+        let trip = if limits.fence_stall_limit_ns > 0 {
+            // The dedicated fence watchdog fires even while other traffic
+            // keeps the progress token moving.
+            [&*a, &*b]
+                .into_iter()
+                .find_map(|ep| {
+                    let since = ep.oldest_buffered_since()?;
+                    let stalled_ns = now.saturating_sub(since);
+                    (stalled_ns > limits.fence_stall_limit_ns).then(|| {
+                        WireError::FenceStallExceeded {
+                            node: ep.node,
+                            stalled_ns,
+                            buffered: ep.fence_buffered_total(),
+                        }
+                    })
+                })
+        } else {
+            None
+        };
+        let trip = trip.or_else(|| {
+            (idle > limits.progress_timeout_ns
+                || now.saturating_sub(start) > limits.hard_budget_ns)
+                .then(|| classify_stall(a, b, idle))
+        });
+        if let Some(err) = trip {
+            a.flight.watchdog(a.node, Some(0), err.code(), idle, now);
+            b.flight.watchdog(b.node, Some(0), err.code(), idle, now);
+            return Err(err);
+        }
         if pa || pb {
             continue;
         }
-        let now = bpa.now_ns();
-        if now - start > budget_ns {
-            return Err(format!(
-                "backplane drive stalled: budget {budget_ns}ns exhausted \
-                 (a: {:?}, b: {:?})",
-                a.conn_state(0),
-                b.conn_state(0)
-            ));
-        }
         // Idle: sleep to the earliest protocol deadline (or a probe tick
-        // when nothing is armed), stopping early on any frame delivery.
+        // when nothing is armed), stopping early on any frame delivery —
+        // but never past the watchdog's own trip points, so a dead fabric
+        // surfaces the typed error promptly instead of oversleeping.
         let fallback = now + 1_000_000;
         let deadline = [a.next_deadline(), b.next_deadline()]
             .into_iter()
@@ -1063,8 +1404,50 @@ pub fn drive<BA: Backplane, BB: Backplane>(
             .min()
             .unwrap_or(fallback)
             .max(now + 1);
-        bpa.advance(deadline.min(start + budget_ns));
+        let wake = deadline
+            .min(last_progress.saturating_add(limits.progress_timeout_ns).saturating_add(1))
+            .min(start.saturating_add(limits.hard_budget_ns).saturating_add(1))
+            .max(now + 1);
+        bpa.advance(wake);
     }
+}
+
+/// [`drive_with`] under the legacy single-budget shape
+/// ([`DriveLimits::budget`]): `budget_ns` without protocol progress — or
+/// four times it in total — trips the watchdog.
+pub fn drive<BA: Backplane, BB: Backplane>(
+    a: &mut WireEndpoint,
+    bpa: &mut BA,
+    b: &mut WireEndpoint,
+    bpb: &mut BB,
+    react: impl FnMut(&mut WireEndpoint, &mut BA, &mut WireEndpoint, &mut BB),
+    done: impl FnMut(&WireEndpoint, &WireEndpoint) -> bool,
+    budget_ns: u64,
+) -> Result<u64, WireError> {
+    drive_with(a, bpa, b, bpb, react, done, DriveLimits::budget(budget_ns))
+}
+
+/// Graceful shutdown: drive both endpoints until every connection has
+/// quiesced ([`WireEndpoint::quiesced`]) — queued sends flushed and
+/// acknowledged, receive gaps closed, fences drained — so the caller can
+/// drop the endpoints without abandoning in-flight operations. On a fatal
+/// [`WireError`], [`WireEndpoint::abort_pending`] reports the casualties.
+pub fn drain<BA: Backplane, BB: Backplane>(
+    a: &mut WireEndpoint,
+    bpa: &mut BA,
+    b: &mut WireEndpoint,
+    bpb: &mut BB,
+    limits: DriveLimits,
+) -> Result<u64, WireError> {
+    drive_with(
+        a,
+        bpa,
+        b,
+        bpb,
+        |_, _, _, _| {},
+        |a, b| a.quiesced() && b.quiesced(),
+        limits,
+    )
 }
 
 #[cfg(test)]

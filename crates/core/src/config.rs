@@ -40,6 +40,17 @@ pub struct ProtoConfig {
     /// How long a dead rail sits out before one probe frame may test it for
     /// re-admission.
     pub rail_cooldown: Dur,
+    /// RTO backoff exponent at which the endpoint is treated as facing an
+    /// unreachable peer: the wire driver's watchdog reports
+    /// `WireError::PeerUnreachable` once backoff reaches this value, and
+    /// the flight recorder notes every backoff on the way there. Keeps a
+    /// dead-peer retransmit storm bounded to `rto_storm_cap` doublings.
+    pub rto_storm_cap: u32,
+    /// Most frames one NACK may trigger retransmissions for. Gaps beyond
+    /// the cap are recovered by the receiver's repeated NACKs
+    /// (`nack_repeat` pacing), so a single control frame can never unleash
+    /// a full-window retransmit burst onto an already-lossy fabric.
+    pub nack_resend_burst: u32,
     /// Force both fences on every operation (the paper's strictly-ordered
     /// 2L mode, as opposed to the relaxed 2Lu mode).
     pub force_ordered: bool,
@@ -70,6 +81,12 @@ impl Default for ProtoConfig {
             rail_degraded_after: 3,
             rail_dead_after: 8,
             rail_cooldown: netsim::time::ms(20),
+            // 10 doublings from rto_min is ≈ 2 s of silence at the default
+            // clamps — far past any recoverable loss pattern.
+            rto_storm_cap: 10,
+            // Half the default window: one NACK recovers a burst loss in
+            // two paced rounds instead of one unbounded salvo.
+            nack_resend_burst: 32,
             force_ordered: false,
             max_payload: frame::MAX_PAYLOAD,
             sched: crate::sched::SchedPolicy::RoundRobin,

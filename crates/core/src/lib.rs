@@ -66,7 +66,10 @@ pub mod seqspace;
 pub mod stats;
 pub mod striping;
 
-pub use backplane::{Backplane, BpRx, SimBackplane, UdpBackplane, UdpFabric, WireEndpoint};
+pub use backplane::{
+    Backplane, BpRx, ChaosConfig, FaultBackplane, SimBackplane, UdpBackplane, UdpFabric,
+    WireEndpoint, WireError,
+};
 pub use config::{CostModel, ProtoConfig, SystemConfig};
 pub use endpoint::Endpoint;
 pub use memory::{AppMemory, PAGE_SIZE};

@@ -239,6 +239,95 @@ impl FaultPlan {
     pub fn clear_burst(self, at: Dur, target: FaultTarget) -> Self {
         self.event(at, target, FaultAction::ClearBurst)
     }
+
+    /// Events whose target covers `node`'s link on `rail` (either the
+    /// specific [`FaultTarget::Link`] or the whole [`FaultTarget::Rail`]),
+    /// sorted by fire time.
+    fn events_for(&self, node: usize, rail: usize) -> Vec<&FaultEvent> {
+        let mut hits: Vec<&FaultEvent> = self
+            .events
+            .iter()
+            .filter(|e| match e.target {
+                FaultTarget::Link { node: n, rail: r } => n == node && r == rail,
+                FaultTarget::Rail { rail: r } => r == rail,
+            })
+            .collect();
+        hits.sort_by_key(|e| e.at);
+        hits
+    }
+
+    /// The half-open `[from_ns, to_ns)` intervals during which `node`'s
+    /// link on `rail` is administratively down, merged and sorted. A
+    /// [`FaultAction::LinkDown`] with no matching up extends to
+    /// `u64::MAX`. This is the plan's *interpretation* — backends that
+    /// cannot replay events live (the chaos interposer over real sockets)
+    /// consume the same plan through this view, so one schedule drives
+    /// both transports identically.
+    pub fn down_intervals(&self, node: usize, rail: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut down_since: Option<u64> = None;
+        for e in self.events_for(node, rail) {
+            let t = e.at.0;
+            match e.action {
+                FaultAction::LinkDown if down_since.is_none() => down_since = Some(t),
+                FaultAction::LinkUp => {
+                    if let Some(from) = down_since.take() {
+                        if t > from {
+                            out.push((from, t));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(from) = down_since {
+            out.push((from, u64::MAX));
+        }
+        out
+    }
+
+    /// The half-open `[from_ns, to_ns)` intervals during which `node`'s
+    /// receive path on `rail` is frozen by a [`FaultAction::NicStall`],
+    /// sorted by start (overlapping stalls are merged).
+    pub fn stall_intervals(&self, node: usize, rail: usize) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for e in self.events_for(node, rail) {
+            let FaultAction::NicStall { dur } = e.action else {
+                continue;
+            };
+            let from = e.at.0;
+            let to = from.saturating_add(dur.as_nanos());
+            match out.last_mut() {
+                Some(last) if from <= last.1 => last.1 = last.1.max(to),
+                _ => out.push((from, to)),
+            }
+        }
+        out
+    }
+
+    /// The burst-process timeline for `node`'s link on `rail`: `(at_ns,
+    /// model)` transitions, where `None` means the burst process was
+    /// cleared. The model in force at time `t` is the last entry at or
+    /// before `t` (none before the first entry).
+    pub fn burst_timeline(&self, node: usize, rail: usize) -> Vec<(u64, Option<GilbertElliott>)> {
+        let mut out = Vec::new();
+        for e in self.events_for(node, rail) {
+            match e.action {
+                FaultAction::SetBurst { model } => out.push((e.at.0, Some(model))),
+                FaultAction::ClearBurst => out.push((e.at.0, None)),
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Whether `t` falls inside any of the sorted half-open `intervals`.
+pub fn covered(intervals: &[(u64, u64)], t: u64) -> bool {
+    intervals
+        .iter()
+        .take_while(|&&(from, _)| from <= t)
+        .any(|&(_, to)| t < to)
 }
 
 #[cfg(test)]
@@ -260,6 +349,65 @@ mod tests {
         for e in ev {
             assert_eq!(e.target, FaultTarget::Link { node: 0, rail: 1 });
         }
+    }
+
+    #[test]
+    fn down_intervals_merge_links_and_rails() {
+        let plan = FaultPlan::new()
+            .link_down(ms(1), 0, 1)
+            .link_up(ms(3), 0, 1)
+            .rail_down(ms(5), 1)
+            .rail_up(ms(7), 1)
+            .link_down(ms(9), 0, 1); // never comes back up
+        let iv = plan.down_intervals(0, 1);
+        assert_eq!(
+            iv,
+            vec![
+                (ms(1).as_nanos(), ms(3).as_nanos()),
+                (ms(5).as_nanos(), ms(7).as_nanos()),
+                (ms(9).as_nanos(), u64::MAX),
+            ]
+        );
+        // Node 1 only sees the rail-wide outage.
+        assert_eq!(
+            plan.down_intervals(1, 1),
+            vec![(ms(5).as_nanos(), ms(7).as_nanos())]
+        );
+        // Other rails are untouched.
+        assert!(plan.down_intervals(0, 0).is_empty());
+        assert!(covered(&iv, ms(2).as_nanos()));
+        assert!(!covered(&iv, ms(4).as_nanos()));
+        assert!(covered(&iv, ms(20).as_nanos()));
+        // Half-open: the up instant is already up.
+        assert!(!covered(&iv, ms(3).as_nanos()));
+    }
+
+    #[test]
+    fn stall_intervals_merge_overlaps() {
+        let plan = FaultPlan::new()
+            .nic_stall(ms(1), 0, 0, ms(2))
+            .nic_stall(ms(2), 0, 0, ms(3))
+            .nic_stall(ms(10), 0, 0, ms(1));
+        assert_eq!(
+            plan.stall_intervals(0, 0),
+            vec![
+                (ms(1).as_nanos(), ms(5).as_nanos()),
+                (ms(10).as_nanos(), ms(11).as_nanos()),
+            ]
+        );
+        assert!(plan.stall_intervals(1, 0).is_empty());
+    }
+
+    #[test]
+    fn burst_timeline_orders_transitions() {
+        let ge = GilbertElliott::bursty_loss(0.1, 0.5, 0.8);
+        let plan = FaultPlan::new()
+            .burst(ms(4), FaultTarget::Rail { rail: 0 }, ge)
+            .clear_burst(ms(9), FaultTarget::Rail { rail: 0 });
+        let tl = plan.burst_timeline(1, 0);
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0], (ms(4).as_nanos(), Some(ge)));
+        assert_eq!(tl[1], (ms(9).as_nanos(), None));
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod time;
 pub mod topology;
 
 pub use engine::{RunReport, Sim, TaskId, TimerId};
-pub use faults::{FaultAction, FaultEvent, FaultPlan, FaultTarget, GilbertElliott};
+pub use faults::{covered, FaultAction, FaultEvent, FaultPlan, FaultTarget, GilbertElliott};
 pub use net::{ChannelParams, FaultModel, NetStats, Network, NicId, RxFrame};
 pub use time::{Dur, SimTime};
 pub use topology::{build_cluster, Cluster, ClusterSpec, DEFAULT_FAULT_SEED};

@@ -88,6 +88,9 @@ pub enum FlightCode {
     FenceRelease = 12,
     /// The fault plan acted (`a` = fault kind ordinal).
     FaultInjected = 13,
+    /// A liveness watchdog tripped (`a` = error discriminant, `b` = ns
+    /// without protocol progress).
+    Watchdog = 14,
 }
 
 impl FlightCode {
@@ -108,11 +111,12 @@ impl FlightCode {
             FlightCode::RailUp => "rail_up",
             FlightCode::FenceRelease => "fence_release",
             FlightCode::FaultInjected => "fault_injected",
+            FlightCode::Watchdog => "watchdog",
         }
     }
 
     fn from_u8(v: u8) -> &'static str {
-        const ALL: [FlightCode; 14] = [
+        const ALL: [FlightCode; 15] = [
             FlightCode::OpIssue,
             FlightCode::OpComplete,
             FlightCode::FrameSend,
@@ -127,6 +131,7 @@ impl FlightCode {
             FlightCode::RailUp,
             FlightCode::FenceRelease,
             FlightCode::FaultInjected,
+            FlightCode::Watchdog,
         ];
         ALL.get(v as usize).map(|c| c.label()).unwrap_or("unknown")
     }
@@ -304,6 +309,17 @@ impl FlightRecorder {
         let bound = state.borrow().cfg.fence_stall_trigger_ns;
         if bound > 0 && stalled_ns >= bound {
             self.dump("fence_stall", t_ns);
+        }
+    }
+
+    /// A liveness watchdog tripped (`detail` = typed-error discriminant,
+    /// `idle_ns` = time without protocol progress); always dumps — the
+    /// driver is about to surface a fatal `WireError` and this ring is the
+    /// post-mortem.
+    pub fn watchdog(&self, node: usize, conn: Option<usize>, detail: u64, idle_ns: u64, t_ns: u64) {
+        self.note(FlightCode::Watchdog, node, conn, None, detail, idle_ns, t_ns);
+        if self.inner.is_some() {
+            self.dump("watchdog", t_ns);
         }
     }
 

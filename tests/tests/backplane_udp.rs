@@ -6,7 +6,9 @@
 
 use bytes::Bytes;
 use me_trace::SpanRecorder;
-use multiedge::backplane::{drive, Backplane, SimBackplane, UdpFabric, WireEndpoint};
+use multiedge::backplane::{
+    drive, Backplane, SimBackplane, UdpFabric, UdpFabricConfig, UdpRxError, WireEndpoint,
+};
 use multiedge::{OpFlags, ProtoStats, SystemConfig};
 use netsim::{build_cluster, Sim};
 use std::cell::Cell;
@@ -207,6 +209,136 @@ fn run_fingerprint<BA: Backplane, BB: Backplane>(
     )
     .expect("fingerprint workload quiesces");
     (fingerprint(&a.stats()), fingerprint(&b.stats()))
+}
+
+/// Drain node `node`'s receive path until `pred` holds or ~2s elapse —
+/// loopback delivery is fast but not instantaneous, and the receive
+/// counters only move when a poll drains the sockets.
+fn poll_until<B: Backplane>(bp: &mut B, mut pred: impl FnMut() -> bool) -> bool {
+    for _ in 0..2000 {
+        while bp.next().is_some() {}
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    false
+}
+
+/// A checksum-damaged datagram must be counted as a *corrupt* drop —
+/// distinct from malformed — and surface a typed receive error, never a
+/// decoded frame.
+#[test]
+fn udp_corrupt_datagram_splits_from_malformed() {
+    let fabric = UdpFabric::new(1).expect("bind loopback sockets");
+    let (_bpa, mut bpb) = fabric.pair();
+
+    // A structurally valid frame with one payload byte flipped after
+    // encoding: the header parses, the checksum does not.
+    let f = frame::Frame {
+        src: frame::MacAddr::new(0, 0),
+        dst: frame::MacAddr::new(1, 0),
+        header: frame::FrameHeader {
+            kind: frame::FrameKind::Data,
+            flags: frame::FrameFlags::empty(),
+            conn: 0,
+            seq: 7,
+            ack: 0,
+            op_id: 0,
+            op_total_len: 64,
+            fence_floor: 0,
+            remote_addr: 0x1000,
+            aux: 0,
+        },
+        payload: Bytes::from(vec![0xABu8; 64]),
+    };
+    let mut bytes = Vec::new();
+    frame::encode_frame_into(&f, &mut bytes);
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    fabric.inject_raw(0, 0, &bytes).expect("inject over loopback");
+    assert!(
+        poll_until(&mut bpb, || fabric.stats().frames_corrupt_dropped == 1),
+        "corrupt datagram must be counted, stats: {:?}",
+        fabric.stats()
+    );
+    assert!(
+        matches!(
+            fabric.take_rx_error(),
+            Some(UdpRxError::Corrupt { node: 1, rail: 0, .. })
+        ),
+        "checksum damage surfaces as a typed Corrupt error"
+    );
+
+    // Garbage that is not a MultiEdge frame at all: malformed, not corrupt.
+    fabric
+        .inject_raw(0, 0, &[0xDE, 0xAD, 0xBE, 0xEF])
+        .expect("inject over loopback");
+    assert!(
+        poll_until(&mut bpb, || fabric.stats().frames_malformed_dropped == 1),
+        "malformed datagram must be counted, stats: {:?}",
+        fabric.stats()
+    );
+    assert!(matches!(
+        fabric.take_rx_error(),
+        Some(UdpRxError::Malformed { node: 1, rail: 0, .. })
+    ));
+    let s = fabric.stats();
+    assert_eq!(
+        (s.frames_corrupt_dropped, s.frames_malformed_dropped, s.delivered),
+        (1, 1, 0),
+        "the two decode-failure classes stay distinct and deliver nothing"
+    );
+    assert_eq!(fabric.decode_dropped(), 2, "legacy combined counter still sums");
+}
+
+/// A datagram from a socket that is not the expected peer must be dropped
+/// with a typed `UnknownSource` error — not decoded under a reconstructed
+/// (and wrong) source MAC.
+#[test]
+fn udp_unknown_source_is_rejected_and_typed() {
+    let fabric = UdpFabric::new(1).expect("bind loopback sockets");
+    let (_bpa, mut bpb) = fabric.pair();
+    let foreign = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind foreign socket");
+    let foreign_addr = foreign.local_addr().unwrap();
+    foreign
+        .send_to(&[1, 2, 3], fabric.local_addr(1, 0))
+        .expect("send from foreign socket");
+    assert!(
+        poll_until(&mut bpb, || fabric.stats().unknown_source_dropped == 1),
+        "foreign datagram must be counted, stats: {:?}",
+        fabric.stats()
+    );
+    match fabric.take_rx_error() {
+        Some(UdpRxError::UnknownSource { node: 1, rail: 0, from }) => {
+            assert_eq!(from, foreign_addr, "the error names the offender");
+        }
+        other => panic!("expected UnknownSource, got {other:?}"),
+    }
+    assert_eq!(fabric.stats().delivered, 0);
+}
+
+/// The advance idle loop honors its configured spin budget: with tiny
+/// spin/yield budgets it must still return at (not far past) the deadline
+/// by sleeping, and with nothing arriving it reaches the deadline.
+#[test]
+fn udp_advance_idle_loop_respects_deadline_with_spin_budget() {
+    let cfg = UdpFabricConfig {
+        spin_before_yield: 4,
+        yields_before_sleep: 4,
+        idle_sleep: std::time::Duration::from_micros(200),
+    };
+    let fabric = UdpFabric::new_with(1, cfg).expect("bind loopback sockets");
+    let (mut bpa, _bpb) = fabric.pair();
+    let start = std::time::Instant::now();
+    let until = bpa.now_ns() + 5_000_000;
+    let reached = bpa.advance(until);
+    assert!(reached >= until, "advance reaches the deadline on a quiet fabric");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed >= std::time::Duration::from_millis(4),
+        "the idle loop must actually wait out the deadline, waited {elapsed:?}"
+    );
 }
 
 #[test]
