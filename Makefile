@@ -4,7 +4,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke bench-attribution bench-attribution-smoke test-flight triage-check triage-smoke triage-baseline bench-backplane backplane-smoke test-chaos bench-chaos chaos-smoke
+.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke bench-attribution bench-attribution-smoke test-flight triage-check triage-smoke triage-baseline bench-backplane backplane-smoke test-chaos bench-chaos chaos-smoke test-shard bench-scale bench-scale-smoke
 
 verify: build test doc clippy
 
@@ -118,3 +118,23 @@ bench-chaos:
 # CI smoke flavour: reduced workload, same assertions and artifacts.
 chaos-smoke:
 	CHAOS_SMOKE=1 timeout 300 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench chaos
+
+# Sharded-engine correctness: partitioner invariants (proptests) and the
+# determinism contract — fixed seed ⇒ bit-identical timing-independent
+# fingerprints across shard counts {1,2,4}, threaded ≡ cooperative
+# (docs/PERFORMANCE.md § Scaling out).
+test-shard:
+	$(CARGO) test $(OFFLINE) -p integration-tests --test shard_partition --test shard_determinism
+
+# Scale-out bench: 64-node all-to-all / incast / lossy cells through the
+# full protocol stack at shard counts {1,2,4}; asserts cross-shard-count
+# fingerprint equality and ≥2× frames/wall-s on the all-to-all cell at 4
+# shards; writes results/BENCH_scale.json.
+bench-scale:
+	$(CARGO) bench $(OFFLINE) -p multiedge-bench --bench scale
+
+# CI smoke flavour: 16-node cells, same fingerprint gate, no perf gate
+# (wall-clock speedups are meaningless on shared CI runners). Bounded by
+# `timeout` so a wedged shard barrier cannot hang the pipeline.
+bench-scale-smoke:
+	SCALE_SMOKE=1 timeout 300 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench scale

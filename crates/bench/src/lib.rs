@@ -11,6 +11,7 @@ pub mod appfig;
 pub mod backplane;
 pub mod chaos;
 pub mod micro;
+pub mod scale;
 pub mod triage;
 
 pub use appfig::{app_figure, workloads_for_env};

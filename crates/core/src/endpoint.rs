@@ -342,6 +342,22 @@ impl Endpoint {
         (ida, idb)
     }
 
+    /// Half of [`Endpoint::connect`] for a peer simulated in another shard,
+    /// where the peer's `Endpoint` handle cannot be touched (it is
+    /// `Rc`-backed and lives on another thread). Both sides must call this
+    /// with mutually consistent arguments; connection ids are deterministic
+    /// (`conns.len()` in call order), so a deterministic pairing scheme —
+    /// e.g. every node connecting to its mesh peers in ascending node
+    /// order — lets each side compute `peer_conn_id` without communication.
+    pub fn connect_remote(&self, peer_node: usize, peer_conn_id: usize) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        assert!(inner.node != peer_node, "cannot connect a node to itself");
+        let mut conn = Conn::new(peer_node, &inner.cfg.proto, inner.nics.len());
+        conn.peer_conn_id = peer_conn_id as u32;
+        inner.conns.push(conn);
+        inner.conns.len() - 1
+    }
+
     /// Peer node of connection `conn`.
     pub fn conn_peer(&self, conn: usize) -> usize {
         self.inner.borrow().conns[conn].peer_node

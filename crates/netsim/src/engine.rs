@@ -577,6 +577,53 @@ impl Sim {
         self.inner.borrow().events_executed
     }
 
+    /// Number of queued entries (wheel + heap). Counts cancelled-timer
+    /// tombstones still awaiting their lazy pop, so `0` means the queue is
+    /// truly drained — the shard runtime's quiescence check.
+    pub fn pending_events(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.wheel_len + inner.heap.len()
+    }
+
+    /// Timestamp of the earliest queued entry, or `None` when the queue is
+    /// empty. Cancelled-timer tombstones count (their entries are popped
+    /// lazily), so this is a conservative lower bound on the next time
+    /// anything can execute — exactly what a conservative-lookahead
+    /// scheduler needs for idle fast-forwarding.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let mut inner = self.inner.borrow_mut();
+        let heap_t = inner.heap.peek().map(|e| e.time);
+        let wheel_t = if inner.wheel_len > 0 {
+            let s = inner.wheel_candidate();
+            Some(inner.wheel_arena[inner.wheel[s].head as usize].ev.time)
+        } else {
+            None
+        };
+        match (heap_t, wheel_t) {
+            (None, None) => None,
+            (Some(h), None) => Some(h),
+            (None, Some(w)) => Some(w),
+            (Some(h), Some(w)) => Some(h.min(w)),
+        }
+    }
+
+    /// Number of spawned tasks that have not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.borrow().live_tasks
+    }
+
+    /// Names of tasks that have not completed. With an empty event queue a
+    /// non-empty result means deadlock: the tasks wait on events nobody
+    /// will fire.
+    pub fn stuck_task_names(&self) -> Vec<String> {
+        self.inner
+            .borrow()
+            .tasks
+            .iter()
+            .filter_map(|t| t.as_ref().map(|t| t.name.clone()))
+            .collect()
+    }
+
     /// Schedule `f` to run at absolute time `at` (clamped to now).
     pub fn schedule_at(&self, at: SimTime, f: impl FnOnce(&Sim) + 'static) {
         let mut inner = self.inner.borrow_mut();

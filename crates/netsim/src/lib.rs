@@ -23,6 +23,10 @@
 //! * [`faults`] — scripted, seed-deterministic fault plans layered on the
 //!   stationary model: timed link outages, flapping, NIC stalls, and
 //!   [`GilbertElliott`] burst loss/corruption ([`FaultPlan`]).
+//! * [`shard`] — conservative-lookahead parallel runtime: partitions a
+//!   cluster across per-thread [`Sim`] instances synchronized by the link
+//!   propagation delay, with a hard cross-shard-count determinism contract
+//!   ([`shard::run_sharded`]).
 //!
 //! # Example
 //!
@@ -43,12 +47,20 @@ pub mod cpu;
 pub mod engine;
 pub mod faults;
 pub mod net;
+pub mod shard;
 pub mod sync;
 pub mod time;
 pub mod topology;
 
 pub use engine::{RunReport, Sim, TaskId, TimerId};
 pub use faults::{covered, FaultAction, FaultEvent, FaultPlan, FaultTarget, GilbertElliott};
-pub use net::{ChannelParams, FaultModel, NetStats, Network, NicId, RxFrame};
+pub use net::{
+    BoundaryTx, ChannelParams, FaultDecision, FaultModel, NetStats, Network, NicId, RemoteDest,
+    RxFrame, SwitchId,
+};
+pub use shard::{
+    run_sharded, BoundaryMsg, PartitionError, ShardError, ShardMode, ShardNet, ShardPlan,
+    ShardRunConfig, ShardRunReport, ShardStats,
+};
 pub use time::{Dur, SimTime};
 pub use topology::{build_cluster, Cluster, ClusterSpec, DEFAULT_FAULT_SEED};

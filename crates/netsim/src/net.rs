@@ -91,10 +91,76 @@ pub struct SwitchId(usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NicId(pub usize);
 
+/// Where a boundary-crossing frame is headed, in *global* topology terms
+/// (the sharded runtime maps this onto the owning shard's local objects).
+/// Rail topologies have one switch per rail, so a rail index names the
+/// switch unambiguously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RemoteDest {
+    /// Ingress of the rail's switch (the far end of an uplink channel).
+    Switch {
+        /// Rail (= switch) index.
+        rail: u8,
+    },
+    /// Receive path of a node's NIC (the far end of a downlink channel).
+    Nic {
+        /// Global node index.
+        node: u16,
+        /// Rail (NIC index within the node).
+        rail: u8,
+    },
+}
+
+/// A frame leaving this [`Network`] for a component simulated elsewhere.
+/// Produced by the eager delivery path when a channel's far end is
+/// `Endpoint::Remote`; the payload is deep-copied out of the `Rc`-backed
+/// [`bytes::Bytes`] shim so the whole struct is `Send`-safe (asserted at
+/// compile time in `crate::shard`).
+#[derive(Debug, Clone)]
+pub struct BoundaryTx {
+    /// Virtual time the frame reaches `dest` (arrival at the switch ingress
+    /// or the NIC's receive path). Always at least one link propagation
+    /// delay after the submitting event — the conservative lookahead bound.
+    pub at: SimTime,
+    /// Which remote component receives the frame.
+    pub dest: RemoteDest,
+    /// Ethernet source of the carried frame.
+    pub src: MacAddr,
+    /// Ethernet destination of the carried frame.
+    pub dst: MacAddr,
+    /// Protocol header (plain data, `Copy`).
+    pub header: frame::FrameHeader,
+    /// Deep-copied payload bytes.
+    pub payload: Vec<u8>,
+    /// Whether a transient error already damaged the frame in flight.
+    pub corrupted: bool,
+}
+
+impl BoundaryTx {
+    /// Reassemble the carried frame (fresh [`bytes::Bytes`] allocation).
+    pub fn to_frame(&self) -> Frame {
+        Frame {
+            src: self.src,
+            dst: self.dst,
+            header: self.header,
+            payload: bytes::Bytes::from(self.payload.clone()),
+        }
+    }
+}
+
+/// One recorded eager-mode fault decision: `(channel stream key, per-channel
+/// attempt index, lost, corrupted)`. The stream key and attempt index are
+/// shard-count-invariant, so two runs of the same seeded cell at different
+/// shard counts must produce identical logs (the determinism gate).
+pub type FaultDecision = (u64, u64, bool, bool);
+
 #[derive(Debug, Clone, Copy)]
 enum Endpoint {
     Switch(SwitchId),
     Nic(NicId),
+    /// The far end lives in another shard's network; crossing is handed to
+    /// the boundary hook instead of a local event.
+    Remote(RemoteDest),
 }
 
 /// A frame as delivered to a NIC's receive handler.
@@ -135,6 +201,37 @@ struct ChannelState {
     burst: Option<GilbertElliott>,
     /// Current Gilbert–Elliott state (`true` = bad).
     ge_bad: bool,
+    /// Shard-count-invariant identity of this channel's jitter/fault
+    /// streams (eager mode only; `0` = unset, legacy mode).
+    stream_key: u64,
+    /// Submissions so far (eager mode): the per-channel index every
+    /// stateless jitter/fault draw is keyed by. Counts every submission
+    /// attempt, including ones dropped at the queue or a downed link, so
+    /// the stream never shifts with a frame's fate.
+    attempts: u64,
+}
+
+impl ChannelState {
+    fn new(params: ChannelParams, to: Endpoint, stream_key: u64) -> Self {
+        Self {
+            params,
+            to,
+            busy_until: SimTime::ZERO,
+            queued_starts: std::collections::VecDeque::new(),
+            tx_frames: 0,
+            tx_bytes: 0,
+            drop_overflow: 0,
+            drop_loss: 0,
+            drop_link_down: 0,
+            corrupted: 0,
+            last_arrival: SimTime::ZERO,
+            link_up: true,
+            burst: None,
+            ge_bad: false,
+            stream_key,
+            attempts: 0,
+        }
+    }
 }
 
 struct SwitchState {
@@ -183,8 +280,27 @@ struct NetInner {
     fault: FaultModel,
     /// Dedicated RNG for every loss/corruption/burst-transition draw, kept
     /// separate from the jitter RNG so a fault seed pins the loss pattern
-    /// regardless of unrelated timing randomness.
+    /// regardless of unrelated timing randomness. Legacy mode only; eager
+    /// mode replaces it with stateless per-channel streams.
     fault_rng: SmallRng,
+    /// Eager delivery mode (sharded runtime): jitter and per-hop fault fate
+    /// are decided at *submit* time from stateless per-channel streams, so
+    /// a frame's whole trajectory is known one propagation delay before it
+    /// lands — the conservative-lookahead requirement. Legacy mode (decide
+    /// at arrival, shared sequential RNGs) is bit-identical to the code
+    /// before sharding existed.
+    eager: bool,
+    /// Seed for the stateless fault streams (eager mode).
+    fault_seed: u64,
+    /// Seed for the stateless jitter streams (eager mode), kept separate so
+    /// a fault seed pins losses independent of timing randomness — the same
+    /// contract the two legacy RNGs provide.
+    jitter_seed: u64,
+    /// Hook invoked when a frame's channel terminates at a remote endpoint.
+    boundary_tx: Option<Rc<dyn Fn(BoundaryTx)>>,
+    /// When `Some`, every eager fault decision is appended here (the
+    /// determinism gate compares these logs across shard counts).
+    decisions: Option<Vec<FaultDecision>>,
     tracer: Tracer,
     flight: FlightRecorder,
 }
@@ -219,6 +335,77 @@ fn draw_jitter(sim: &Sim, j: Dur) -> Dur {
     } else {
         Dur(sim.with_rng(|r| r.gen_range(0..j.as_nanos())))
     }
+}
+
+/// Draw lanes of the stateless per-channel streams (eager mode). One lane
+/// per random decision a traversal can need, so lanes never alias.
+const LANE_GE: u64 = 0;
+const LANE_LOSS: u64 = 1;
+const LANE_CORRUPT: u64 = 2;
+const LANE_JITTER: u64 = 3;
+
+/// splitmix64 finalizer: a cheap, well-mixed u64 → u64 permutation.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless draw: a pure function of `(seed, stream key, attempt, lane)`.
+/// Eager mode uses this instead of sequential RNGs so a channel's random
+/// stream cannot shift when unrelated events reorder (e.g. under a
+/// different shard count).
+fn stateless_u64(seed: u64, key: u64, attempt: u64, lane: u64) -> u64 {
+    let mut z = seed;
+    for v in [key, attempt, lane] {
+        z = splitmix64(z ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    z
+}
+
+/// Map a draw onto `[0, 1)` with 53 bits of precision.
+fn unit_f64(u: u64) -> f64 {
+    (u >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Eager-mode fault decision for attempt `attempt` on channel `c`: same
+/// stationary ⊕ burst composition as [`decide_channel_fault`], but every
+/// draw comes from the channel's stateless stream. The Gilbert–Elliott
+/// state still evolves sequentially *per channel*, indexed by the attempt
+/// counter, which is deterministic because a channel is only ever driven by
+/// its single owning shard.
+fn decide_channel_fault_eager(
+    c: &mut ChannelState,
+    stationary: FaultModel,
+    fault_seed: u64,
+    attempt: u64,
+) -> (bool, bool) {
+    let mut loss_p = stationary.loss_rate;
+    let mut corrupt_p = stationary.corrupt_rate;
+    if let Some(ge) = c.burst {
+        let flip_p = if c.ge_bad {
+            ge.p_bad_to_good
+        } else {
+            ge.p_good_to_bad
+        };
+        if flip_p > 0.0 && unit_f64(stateless_u64(fault_seed, c.stream_key, attempt, LANE_GE)) < flip_p {
+            c.ge_bad = !c.ge_bad;
+        }
+        let (gl, gc) = if c.ge_bad {
+            (ge.loss_bad, ge.corrupt_bad)
+        } else {
+            (ge.loss_good, ge.corrupt_good)
+        };
+        loss_p = 1.0 - (1.0 - loss_p) * (1.0 - gl);
+        corrupt_p = 1.0 - (1.0 - corrupt_p) * (1.0 - gc);
+    }
+    let lost =
+        loss_p > 0.0 && unit_f64(stateless_u64(fault_seed, c.stream_key, attempt, LANE_LOSS)) < loss_p;
+    let corrupted = !lost
+        && corrupt_p > 0.0
+        && unit_f64(stateless_u64(fault_seed, c.stream_key, attempt, LANE_CORRUPT)) < corrupt_p;
+    (lost, corrupted)
 }
 
 /// Decide loss/corruption for one channel traversal: stationary model
@@ -276,8 +463,31 @@ impl Network {
                 fault_rng: SmallRng::seed_from_u64(fault_seed),
                 tracer: Tracer::disabled(),
                 flight: FlightRecorder::disabled(),
+                eager: false,
+                fault_seed,
+                jitter_seed: 0,
+                boundary_tx: None,
+                decisions: None,
             })),
         }
+    }
+
+    /// Empty network in **eager delivery mode**, the variant the sharded
+    /// runtime ([`crate::shard`]) builds in every shard. Jitter and per-hop
+    /// loss/corruption are decided at submit time from stateless streams
+    /// keyed `(seed, channel stream key, attempt index)`, so each channel's
+    /// randomness is a pure function independent of shard count and event
+    /// interleaving — the foundation of the cross-shard determinism gate.
+    /// Channels whose far end is `Endpoint::Remote` hand finished frames
+    /// to the [`Self::set_boundary_tx`] hook instead of a local event.
+    pub fn sharded(sim: &Sim, fault: FaultModel, fault_seed: u64, jitter_seed: u64) -> Self {
+        let net = Self::with_fault_seed(sim, fault, fault_seed);
+        {
+            let mut inner = net.inner.borrow_mut();
+            inner.eager = true;
+            inner.jitter_seed = jitter_seed;
+        }
+        net
     }
 
     /// Attach a [`Tracer`]: the network then records each channel
@@ -338,39 +548,13 @@ impl Network {
             ..params
         };
         let up = ChannelId(inner.channels.len());
-        inner.channels.push(ChannelState {
-            params: up_params,
-            to: Endpoint::Switch(switch),
-            busy_until: SimTime::ZERO,
-            queued_starts: std::collections::VecDeque::new(),
-            tx_frames: 0,
-            tx_bytes: 0,
-            drop_overflow: 0,
-            drop_loss: 0,
-            drop_link_down: 0,
-            corrupted: 0,
-            last_arrival: SimTime::ZERO,
-            link_up: true,
-            burst: None,
-            ge_bad: false,
-        });
+        inner
+            .channels
+            .push(ChannelState::new(up_params, Endpoint::Switch(switch), 0));
         let down = ChannelId(inner.channels.len());
-        inner.channels.push(ChannelState {
-            params,
-            to: Endpoint::Nic(nic),
-            busy_until: SimTime::ZERO,
-            queued_starts: std::collections::VecDeque::new(),
-            tx_frames: 0,
-            tx_bytes: 0,
-            drop_overflow: 0,
-            drop_loss: 0,
-            drop_link_down: 0,
-            corrupted: 0,
-            last_arrival: SimTime::ZERO,
-            link_up: true,
-            burst: None,
-            ge_bad: false,
-        });
+        inner
+            .channels
+            .push(ChannelState::new(params, Endpoint::Nic(nic), 0));
         inner.nics[nic.0].tx_channel = Some(up);
         inner.nics[nic.0].rx_channel = Some(down);
         let mac = inner.nics[nic.0].mac;
@@ -410,6 +594,9 @@ impl Network {
     /// Serialize `f` onto channel `ch`; `completion_nic` receives the
     /// tx-complete callback. Returns false on queue-overflow drop.
     fn channel_transmit(&self, ch: ChannelId, f: Frame, completion_nic: Option<NicId>) -> bool {
+        if self.inner.borrow().eager {
+            return self.channel_transmit_eager(ch, f, completion_nic, false);
+        }
         let now = self.sim.now();
         let wire_len = f.wire_len();
         let (end, arrival, to) = {
@@ -562,6 +749,9 @@ impl Network {
                             }
                         }
                         Endpoint::Nic(nic) => Action::Deliver(nic, corrupted),
+                        Endpoint::Remote(_) => {
+                            unreachable!("remote endpoints exist only in eager (sharded) mode")
+                        }
                     }
                 }
             }
@@ -680,6 +870,10 @@ impl Network {
     /// Like [`Self::channel_transmit`] but the frame is already damaged; it
     /// stays damaged through delivery.
     fn channel_transmit_corrupt(&self, ch: ChannelId, f: Frame) {
+        if self.inner.borrow().eager {
+            self.channel_transmit_eager(ch, f, None, true);
+            return;
+        }
         let now = self.sim.now();
         let wire_len = f.wire_len();
         let (arrival, to) = {
@@ -753,6 +947,9 @@ impl Network {
                     // Multi-switch paths re-enter the normal path; keep damaged.
                     this.arrive_corrupt(sim, to, f);
                 }
+                Endpoint::Remote(_) => {
+                    unreachable!("remote endpoints exist only in eager (sharded) mode")
+                }
             }
         });
     }
@@ -772,6 +969,330 @@ impl Network {
             };
             let this = self.clone();
             sim.schedule_in(delay, move |_| this.channel_transmit_corrupt(out, f));
+        }
+    }
+
+    /// Eager-mode transmit: one borrow decides the frame's entire fate —
+    /// jitter, loss, corruption — at submit time from the channel's
+    /// stateless streams, then schedules the local arrival or hands the
+    /// frame to the boundary hook when the far end is remote. Because
+    /// `arrival ≥ now + latency`, a cross-shard frame always lands at least
+    /// one propagation delay in the future: the lookahead window.
+    fn channel_transmit_eager(
+        &self,
+        ch: ChannelId,
+        f: Frame,
+        completion_nic: Option<NicId>,
+        pre_corrupt: bool,
+    ) -> bool {
+        enum Next {
+            Gone,
+            Local(SimTime, Endpoint, bool),
+        }
+        let now = self.sim.now();
+        let wire_len = f.wire_len();
+        let (end, next) = {
+            let mut inner = self.inner.borrow_mut();
+            let NetInner {
+                channels,
+                fault,
+                fault_seed,
+                jitter_seed,
+                tracer,
+                flight,
+                decisions,
+                ..
+            } = &mut *inner;
+            let c = &mut channels[ch.0];
+            // The attempt index advances once per submission no matter the
+            // frame's fate, so the channel's stream indices stay aligned
+            // whether or not earlier frames were dropped.
+            let attempt = c.attempts;
+            c.attempts += 1;
+            let jitter = if c.params.jitter == Dur::ZERO {
+                Dur::ZERO
+            } else {
+                Dur(stateless_u64(*jitter_seed, c.stream_key, attempt, LANE_JITTER)
+                    % c.params.jitter.as_nanos())
+            };
+            if !c.link_up {
+                c.drop_link_down += 1;
+                tracer.emit(
+                    now.as_nanos(),
+                    Some(f.header.conn),
+                    Some(f.src.rail as u32),
+                    EventKind::FrameDrop,
+                );
+                flight_drop(flight, &f, ch, now.as_nanos());
+                return false;
+            }
+            while c.queued_starts.front().is_some_and(|&s| s <= now) {
+                c.queued_starts.pop_front();
+            }
+            if c.queued_starts.len() >= c.params.queue_cap {
+                c.drop_overflow += 1;
+                tracer.emit(
+                    now.as_nanos(),
+                    Some(f.header.conn),
+                    Some(f.src.rail as u32),
+                    EventKind::FrameDrop,
+                );
+                flight_drop(flight, &f, ch, now.as_nanos());
+                return false;
+            }
+            let (lost, fresh_corrupt) = decide_channel_fault_eager(c, *fault, *fault_seed, attempt);
+            if let Some(log) = decisions.as_mut() {
+                log.push((c.stream_key, attempt, lost, fresh_corrupt));
+            }
+            let start = now.max(c.busy_until);
+            let end = start + Dur::for_bytes(wire_len, c.params.bytes_per_sec);
+            c.busy_until = end;
+            if start > now {
+                c.queued_starts.push_back(start);
+            }
+            c.tx_frames += 1;
+            c.tx_bytes += wire_len as u64;
+            let mut arrival = end + c.params.latency + jitter;
+            arrival = arrival.max(c.last_arrival);
+            c.last_arrival = arrival;
+            tracer.wire_time(f.src.rail as u32, arrival.since(now).as_nanos());
+            if lost {
+                // A lost frame still occupied the wire (counted above); it
+                // just never lands. Eager mode has no separate in-flight
+                // link-down loss — link state is checked at submit only.
+                c.drop_loss += 1;
+                tracer.emit(
+                    now.as_nanos(),
+                    Some(f.header.conn),
+                    Some(f.src.rail as u32),
+                    EventKind::FrameDrop,
+                );
+                flight_drop(flight, &f, ch, now.as_nanos());
+                (end, Next::Gone)
+            } else {
+                let corrupted = pre_corrupt || fresh_corrupt;
+                if fresh_corrupt {
+                    c.corrupted += 1;
+                    tracer.emit(
+                        now.as_nanos(),
+                        Some(f.header.conn),
+                        Some(f.src.rail as u32),
+                        EventKind::FrameCorrupt,
+                    );
+                    flight.note(
+                        FlightCode::FrameCorrupt,
+                        f.src.node as usize,
+                        Some(f.header.conn as usize),
+                        Some(f.src.rail as u32),
+                        ch.0 as u64,
+                        u64::from(f.header.seq),
+                        now.as_nanos(),
+                    );
+                }
+                (end, Next::Local(arrival, c.to, corrupted))
+            }
+        };
+        if let Some(nic) = completion_nic {
+            let this = self.clone();
+            self.sim.schedule_at(end, move |sim| {
+                let cb = this.inner.borrow().nics[nic.0].tx_complete.clone();
+                if let Some(cb) = cb {
+                    cb(sim, wire_len);
+                }
+            });
+        }
+        match next {
+            Next::Gone => {}
+            Next::Local(arrival, to, corrupted) => match to {
+                Endpoint::Switch(sw) => {
+                    let this = self.clone();
+                    self.sim.schedule_at(arrival, move |_| {
+                        this.inject_switch_ingress(sw, f, corrupted);
+                    });
+                }
+                Endpoint::Nic(nic) => {
+                    let this = self.clone();
+                    self.sim.schedule_at(arrival, move |sim| {
+                        this.deliver_to_nic(sim, nic, f, corrupted);
+                    });
+                }
+                Endpoint::Remote(dest) => {
+                    let hook = self.inner.borrow().boundary_tx.clone();
+                    if let Some(hook) = hook {
+                        hook(BoundaryTx {
+                            at: arrival,
+                            dest,
+                            src: f.src,
+                            dst: f.dst,
+                            header: f.header,
+                            payload: f.payload.to_vec(),
+                            corrupted,
+                        });
+                    }
+                }
+            },
+        }
+        true
+    }
+
+    /// Install the hook that receives frames terminating on a
+    /// `Endpoint::Remote` channel end (eager mode). The sharded runtime
+    /// points this at its boundary mailboxes. Without a hook, remote-bound
+    /// frames vanish silently.
+    pub fn set_boundary_tx(&self, h: impl Fn(BoundaryTx) + 'static) {
+        self.inner.borrow_mut().boundary_tx = Some(Rc::new(h));
+    }
+
+    /// Drop every installed callback: per-NIC receive and tx-complete
+    /// handlers and the boundary hook. Protocol layers capture their own
+    /// state (which in turn holds this `Network`) in those closures, so a
+    /// finished cluster is a reference cycle the allocator can never
+    /// reclaim — a long-lived process that builds clusters repeatedly (the
+    /// sharded runtime, sweep harnesses) leaks one full cluster per run
+    /// without this. Call only when the simulation is done: afterwards,
+    /// delivered frames fall on the floor.
+    pub fn clear_handlers(&self) {
+        let mut inner = self.inner.borrow_mut();
+        for nic in &mut inner.nics {
+            nic.rx_handler = None;
+            nic.tx_complete = None;
+        }
+        inner.boundary_tx = None;
+    }
+
+    /// Assign the stream keys of `nic`'s locally-connected link (eager
+    /// mode): `up_key` for the NIC→switch leg, `down_key` for switch→NIC.
+    /// Keys must be derived from global topology coordinates so the same
+    /// physical link gets the same streams at every shard count.
+    pub fn set_link_stream_keys(&self, nic: NicId, up_key: u64, down_key: u64) {
+        let mut inner = self.inner.borrow_mut();
+        let (up, down) = {
+            let n = &inner.nics[nic.0];
+            (n.tx_channel, n.rx_channel)
+        };
+        if let Some(ch) = up {
+            inner.channels[ch.0].stream_key = up_key;
+        }
+        if let Some(ch) = down {
+            inner.channels[ch.0].stream_key = down_key;
+        }
+    }
+
+    /// Add the NIC→switch leg of a link whose switch lives in another shard
+    /// (rail `rail`'s switch). Same unbounded-DMA-ring queue semantics as
+    /// the uplink half of [`Self::connect`]. The NIC's receive leg stays
+    /// unset — the remote shard owns the downlink and delivers received
+    /// frames via [`Self::inject_nic_rx`].
+    pub fn add_remote_uplink(
+        &self,
+        nic: NicId,
+        rail: u8,
+        params: ChannelParams,
+        stream_key: u64,
+    ) -> ChannelId {
+        let mut inner = self.inner.borrow_mut();
+        let up_params = ChannelParams {
+            queue_cap: usize::MAX / 2,
+            ..params
+        };
+        let ch = ChannelId(inner.channels.len());
+        inner.channels.push(ChannelState::new(
+            up_params,
+            Endpoint::Remote(RemoteDest::Switch { rail }),
+            stream_key,
+        ));
+        inner.nics[nic.0].tx_channel = Some(ch);
+        ch
+    }
+
+    /// Add the switch→NIC leg of a link whose NIC lives in another shard,
+    /// and register `dst` in the switch table so forwarding finds it. The
+    /// bounded queue models the switch output port, exactly like the
+    /// downlink half of [`Self::connect`].
+    pub fn add_remote_downlink(
+        &self,
+        switch: SwitchId,
+        dst: MacAddr,
+        params: ChannelParams,
+        stream_key: u64,
+    ) -> ChannelId {
+        let mut inner = self.inner.borrow_mut();
+        let ch = ChannelId(inner.channels.len());
+        inner.channels.push(ChannelState::new(
+            params,
+            Endpoint::Remote(RemoteDest::Nic {
+                node: dst.node,
+                rail: dst.rail,
+            }),
+            stream_key,
+        ));
+        inner.switches[switch.0].table.insert(dst, ch);
+        ch
+    }
+
+    /// Deliver a boundary frame at a local switch's ingress (eager mode):
+    /// table lookup now, forwarding delay, then transmit on the output
+    /// port's channel. Must be called at the frame's arrival time.
+    pub fn inject_switch_ingress(&self, switch: SwitchId, f: Frame, corrupted: bool) {
+        let (out, delay) = {
+            let mut inner = self.inner.borrow_mut();
+            let s = &mut inner.switches[switch.0];
+            match s.table.get(&f.dst) {
+                Some(&out) => (out, s.forward_delay),
+                None => {
+                    s.drop_unknown += 1;
+                    return;
+                }
+            }
+        };
+        let this = self.clone();
+        self.sim.schedule_in(delay, move |_| {
+            this.channel_transmit_eager(out, f, None, corrupted);
+        });
+    }
+
+    /// Deliver a boundary frame to a local NIC's receive path (eager mode).
+    /// Must be called at the frame's arrival time; NIC stalls are honored.
+    pub fn inject_nic_rx(&self, nic: NicId, f: Frame, corrupted: bool) {
+        let sim = self.sim.clone();
+        self.deliver_to_nic(&sim, nic, f, corrupted);
+    }
+
+    /// Apply a scripted fault to one specific channel — the half of a split
+    /// (cross-shard) link this shard owns. `NicStall` is ignored here: it
+    /// targets the NIC, which its own shard handles via
+    /// [`Self::apply_fault`].
+    pub fn apply_channel_fault(&self, ch: ChannelId, action: FaultAction) {
+        let mut inner = self.inner.borrow_mut();
+        match action {
+            FaultAction::LinkDown | FaultAction::LinkUp => {
+                inner.channels[ch.0].link_up = matches!(action, FaultAction::LinkUp);
+            }
+            FaultAction::NicStall { .. } => {}
+            FaultAction::SetBurst { model } => {
+                let c = &mut inner.channels[ch.0];
+                c.burst = Some(model);
+                c.ge_bad = false;
+            }
+            FaultAction::ClearBurst => {
+                let c = &mut inner.channels[ch.0];
+                c.burst = None;
+                c.ge_bad = false;
+            }
+        }
+    }
+
+    /// Start (or stop) logging eager-mode fault decisions.
+    pub fn record_fault_decisions(&self, on: bool) {
+        self.inner.borrow_mut().decisions = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Take the fault-decision log accumulated since
+    /// [`Self::record_fault_decisions`] (empty if recording is off).
+    pub fn take_fault_decisions(&self) -> Vec<FaultDecision> {
+        match self.inner.borrow_mut().decisions.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
         }
     }
 

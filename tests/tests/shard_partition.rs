@@ -1,0 +1,133 @@
+//! Property-based tests of the sharded runtime's partitioner.
+//!
+//! The partition is the foundation of the determinism contract: every node
+//! and switch must be owned by exactly one shard, ownership must be
+//! balanced, and the lookahead window must never exceed the propagation
+//! delay of any cross-shard link. Degenerate requests must fail with a
+//! typed [`PartitionError`] — immediately, never by hanging a run.
+
+use netsim::time::{ns, us_f64};
+use netsim::{ClusterSpec, PartitionError, ShardPlan};
+use proptest::prelude::*;
+
+/// A random spec plus a valid shard count for it (1..=min(nodes, 16)),
+/// derived rather than filtered — the vendored proptest shim has no
+/// `prop_assume`.
+fn arb_case() -> impl Strategy<Value = (ClusterSpec, usize)> {
+    (1usize..300, 1usize..17, 0usize..1024).prop_map(|(nodes, rails, pick)| {
+        let shards = 1 + pick % nodes.min(16);
+        (ClusterSpec::gbe_1(nodes, rails), shards)
+    })
+}
+
+proptest! {
+    /// Every node is assigned to exactly one shard, every shard's
+    /// `local_nodes` agrees with `node_shard`, and the union over shards is
+    /// exactly `0..nodes` with no duplicates.
+    #[test]
+    fn every_node_owned_exactly_once((spec, shards) in arb_case()) {
+        let plan = ShardPlan::partition(&spec, shards).unwrap();
+        let mut seen = vec![0u32; spec.nodes];
+        for s in 0..shards {
+            for n in plan.local_nodes(s) {
+                prop_assert_eq!(plan.node_shard(n), s);
+                seen[n] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// Every switch is owned by exactly one shard (round-robin by rail).
+    #[test]
+    fn every_switch_owned_exactly_once((spec, shards) in arb_case()) {
+        let plan = ShardPlan::partition(&spec, shards).unwrap();
+        for rail in 0..spec.rails {
+            let owner = plan.switch_shard(rail);
+            prop_assert!(owner < shards);
+            // Exactly one shard claims it: ownership is a function of the
+            // rail, so uniqueness is "every other shard disagrees".
+            for s in (0..shards).filter(|&s| s != owner) {
+                prop_assert_ne!(plan.switch_shard(rail), s);
+            }
+        }
+    }
+
+    /// Node blocks are contiguous and balanced: shard sizes differ by at
+    /// most one, and a shard's nodes form one ascending run.
+    #[test]
+    fn node_blocks_are_contiguous_and_balanced((spec, shards) in arb_case()) {
+        let plan = ShardPlan::partition(&spec, shards).unwrap();
+        let sizes: Vec<usize> = (0..shards).map(|s| plan.local_nodes(s).len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(*min >= 1, "some shard owns nothing: {sizes:?}");
+        prop_assert!(max - min <= 1, "unbalanced: {sizes:?}");
+        for s in 0..shards {
+            let nodes = plan.local_nodes(s);
+            for w in nodes.windows(2) {
+                prop_assert_eq!(w[1], w[0] + 1, "non-contiguous block: {:?}", nodes);
+            }
+        }
+    }
+
+    /// The lookahead window never exceeds any cross-shard link's
+    /// propagation delay — the correctness bound of conservative
+    /// synchronization. (Links are homogeneous today; the property pins
+    /// the invariant for any future heterogeneous spec.)
+    #[test]
+    fn lookahead_bounded_by_cross_shard_latency((spec, shards) in arb_case()) {
+        let plan = ShardPlan::partition(&spec, shards).unwrap();
+        prop_assert!(plan.lookahead() > netsim::Dur::ZERO);
+        for node in 0..spec.nodes {
+            for rail in 0..spec.rails {
+                if plan.node_shard(node) != plan.switch_shard(rail) {
+                    prop_assert!(
+                        spec.link.latency >= plan.lookahead(),
+                        "cross-shard link ({node},{rail}) has latency below lookahead"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Degenerate requests are typed errors, produced immediately.
+    #[test]
+    fn degenerate_requests_fail_fast_with_typed_errors(
+        nodes in 0usize..64,
+        rails in 1usize..9,
+        shards in 0usize..80,
+    ) {
+        let mut spec = ClusterSpec::gbe_1(nodes.max(1), rails);
+        spec.nodes = nodes;
+        match ShardPlan::partition(&spec, shards) {
+            Ok(plan) => {
+                prop_assert!(shards >= 1 && nodes >= 1 && shards <= nodes);
+                prop_assert_eq!(plan.shards(), shards);
+            }
+            Err(PartitionError::ZeroShards) => prop_assert_eq!(shards, 0),
+            Err(PartitionError::NoNodes) => {
+                prop_assert!(nodes == 0 && shards > 0);
+            }
+            Err(PartitionError::TooManyShards { shards: s, nodes: n }) => {
+                prop_assert_eq!((s, n), (shards, nodes));
+                prop_assert!(shards > nodes);
+            }
+            Err(PartitionError::ZeroLookahead) => {
+                prop_assert!(false, "gbe_1 has nonzero latency");
+            }
+        }
+    }
+}
+
+/// Zero link latency is rejected up front — the one degenerate case not
+/// reachable through `gbe_1`.
+#[test]
+fn zero_latency_is_rejected() {
+    let mut spec = ClusterSpec::gbe_1(8, 2);
+    spec.link.latency = ns(0);
+    assert!(matches!(
+        ShardPlan::partition(&spec, 2),
+        Err(PartitionError::ZeroLookahead)
+    ));
+    spec.link.latency = us_f64(2.0);
+    assert!(ShardPlan::partition(&spec, 2).is_ok());
+}
