@@ -4,7 +4,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke bench-attribution bench-attribution-smoke test-flight triage-check triage-smoke triage-baseline bench-backplane backplane-smoke test-chaos bench-chaos chaos-smoke test-shard bench-scale bench-scale-smoke
+.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke bench-attribution bench-attribution-smoke test-flight triage-check triage-smoke triage-baseline bench-backplane backplane-smoke test-chaos bench-chaos chaos-smoke test-shard bench-scale bench-scale-smoke bench-telemetry bench-telemetry-smoke test-timeline
 
 verify: build test doc clippy
 
@@ -138,3 +138,24 @@ bench-scale:
 # `timeout` so a wedged shard barrier cannot hang the pipeline.
 bench-scale-smoke:
 	SCALE_SMOKE=1 timeout 300 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench scale
+
+# Timeline plane property tests: delta encoding telescopes through ring
+# eviction, retained rows mirror the true series, and the JSONL artifact
+# round-trips to the exact cumulative series (docs/OBSERVABILITY.md
+# § Time-resolved telemetry).
+test-timeline:
+	$(CARGO) test $(OFFLINE) -p integration-tests --test timeline_properties
+
+# Time-resolved telemetry bench: sampler overhead gate (≤5% fps, zero
+# allocations per frame), delta reconciliation against end-of-run
+# ProtoStats, a rail-outage cell whose timeline localises the outage, a
+# chaos wire cell, and a 4-shard incast cell whose per-interval imbalance
+# index names the hot shard. Writes results/BENCH_telemetry.json plus
+# timeline JSONL dumps for `me-inspect timeline`. Bounded by `timeout`
+# so a wedged drive loop cannot hang the pipeline.
+bench-telemetry:
+	timeout 600 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench telemetry
+
+# CI smoke flavour: reduced iterations, same gates and artifacts.
+bench-telemetry-smoke:
+	TELEMETRY_SMOKE=1 timeout 300 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench telemetry

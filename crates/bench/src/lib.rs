@@ -12,7 +12,11 @@ pub mod backplane;
 pub mod chaos;
 pub mod micro;
 pub mod scale;
+pub mod telemetry;
 pub mod triage;
 
 pub use appfig::{app_figure, workloads_for_env};
-pub use micro::{default_iters, fig2_sizes, run_micro, run_micro_with_plan, MicroKind, MicroResult};
+pub use micro::{
+    default_iters, fig2_sizes, run_micro, run_micro_sampled, run_micro_with_plan, MicroKind,
+    MicroResult,
+};

@@ -9,7 +9,7 @@
 
 use multiedge::{Endpoint, OpFlags, SystemConfig};
 use netsim::sync::join_all;
-use netsim::{build_cluster, FaultPlan, NetStats, Sim};
+use netsim::{build_cluster, Dur, FaultPlan, NetStats, Sim};
 use std::rc::Rc;
 
 /// Which micro-benchmark to run.
@@ -64,6 +64,12 @@ pub struct MicroResult {
     /// Per-endpoint, per-connection protocol statistics (outer index: node,
     /// inner index: connection id on that node).
     pub conn_proto: Vec<Vec<multiedge::ProtoStats>>,
+    /// Node 0's interval-sampled timeline when the run was started via
+    /// [`run_micro_sampled`]; `None` otherwise.
+    pub timeline: Option<me_trace::Timeline>,
+    /// Node 0's own end-of-run stats (not merged with node 1) — the
+    /// aggregate the timeline's per-interval deltas must reconcile with.
+    pub timeline_proto: Option<multiedge::ProtoStats>,
 }
 
 /// How many operations to run for a given size (bounded total volume).
@@ -87,6 +93,23 @@ pub fn run_micro_with_plan(
     iters: usize,
     plan: &FaultPlan,
 ) -> MicroResult {
+    run_micro_sampled(cfg, kind, size, iters, plan, None)
+}
+
+/// Like [`run_micro_with_plan`], but additionally arms node 0's
+/// [`Endpoint::start_timeline`] sampler on connection 0 every
+/// `sample_interval` of virtual time (capacity 512 rows — micro runs span
+/// milliseconds, and a bigger preallocation would dominate the short
+/// runs' wall time), publishing the finished timeline and node 0's
+/// end-of-run stats in the result.
+pub fn run_micro_sampled(
+    cfg: &SystemConfig,
+    kind: MicroKind,
+    size: usize,
+    iters: usize,
+    plan: &FaultPlan,
+    sample_interval: Option<Dur>,
+) -> MicroResult {
     let mut cfg = cfg.clone();
     cfg.nodes = 2;
     let sim = Sim::new(cfg.seed);
@@ -100,6 +123,7 @@ pub fn run_micro_with_plan(
     }
     cluster.apply_fault_plan(&sim, plan);
     let (c0, c1) = Endpoint::connect(&eps[0], &eps[1]);
+    let sampler = sample_interval.map(|iv| eps[0].start_timeline(c0, iv, 512));
 
     // Average host-initiation overhead is measured inside the driver tasks.
     let (a, b) = (eps[0].clone(), eps[1].clone());
@@ -183,6 +207,8 @@ pub fn run_micro_with_plan(
 
     let report = sim.run();
     report.expect_quiescent();
+    let timeline = sampler.map(|s| s.finish());
+    let timeline_proto = timeline.as_ref().map(|_| eps[0].stats());
     let (elapsed, avg_init_ns) = elapsed_task.try_take().expect("driver finished");
     let elapsed_s = elapsed.as_secs_f64();
 
@@ -225,6 +251,8 @@ pub fn run_micro_with_plan(
         traces,
         spans,
         conn_proto,
+        timeline,
+        timeline_proto,
     }
 }
 

@@ -15,10 +15,11 @@
 //! fault-decision log. The determinism gate asserts these match across
 //! shard counts {1, 2, 4}; the perf gate compares frames per wall-second.
 
+use me_trace::Timeline;
 use multiedge::{Endpoint, OpFlags, ProtoStats, SystemConfig};
 use netsim::shard::{run_sharded, ShardError, ShardMode, ShardNet, ShardRunConfig, ShardStats};
 use netsim::sync::join_all;
-use netsim::{FaultDecision, FaultPlan, NetStats};
+use netsim::{Dur, FaultDecision, FaultPlan, NetStats};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -122,6 +123,12 @@ pub struct ScaleCellResult {
     pub proto: ProtoStats,
     /// Cluster-wide network stats (ditto).
     pub net: NetStats,
+    /// Per-shard event timelines (one per shard, shard order) when the run
+    /// was sampled via [`run_scale_cell_sampled`]; empty otherwise. Grids
+    /// are identical across shards, so row `i` of every timeline covers the
+    /// same slice of virtual time — feed the per-interval deltas to
+    /// [`me_trace::imbalance`] to name the hot shard.
+    pub shard_samples: Vec<Timeline>,
 }
 
 /// FNV-1a over the memory regions `node` received, per the cell's pattern.
@@ -258,10 +265,23 @@ pub fn run_scale_cell(
     shards: usize,
     mode: ShardMode,
 ) -> Result<ScaleCellResult, ShardError> {
+    run_scale_cell_sampled(cell, shards, mode, None)
+}
+
+/// Run one cell at one shard count, optionally sampling each shard's event
+/// count every `sample_interval` of virtual time (see
+/// [`ScaleCellResult::shard_samples`]).
+pub fn run_scale_cell_sampled(
+    cell: &ScaleCell,
+    shards: usize,
+    mode: ShardMode,
+    sample_interval: Option<Dur>,
+) -> Result<ScaleCellResult, ShardError> {
     let spec = cell.cfg.cluster_spec();
     let shard_cfg = ShardRunConfig {
         mode,
         wall_limit: Some(cell.wall_limit),
+        sample_interval,
         ..Default::default()
     };
     let pattern = cell.pattern;
@@ -319,6 +339,7 @@ pub fn run_scale_cell(
         decisions,
         proto,
         net,
+        shard_samples: report.samples,
     })
 }
 

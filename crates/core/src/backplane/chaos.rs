@@ -28,8 +28,10 @@
 //! while the fault is active.
 
 use frame::Frame;
-use me_trace::{FlightCode, FlightRecorder};
+use me_trace::{FlightCode, FlightRecorder, Json};
 use netsim::{covered, FaultPlan, GilbertElliott};
+use std::cell::Cell;
+use std::rc::Rc;
 
 use super::{Backplane, BpRx};
 
@@ -154,6 +156,29 @@ pub struct ChaosStats {
     pub delayed: u64,
 }
 
+impl ChaosStats {
+    /// JSON rendering used by the flight-recorder context source and the
+    /// telemetry bench report.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("frames_seen", self.frames_seen)
+            .set("dropped", self.dropped)
+            .set("duplicated", self.duplicated)
+            .set("reordered", self.reordered)
+            .set("corrupt_dropped", self.corrupt_dropped)
+            .set("blackout_dropped", self.blackout_dropped)
+            .set("stall_held", self.stall_held)
+            .set("delayed", self.delayed)
+    }
+}
+
+/// Apply `f` to the stats behind a shared cell (`ChaosStats` is `Copy`).
+fn bump(stats: &Cell<ChaosStats>, f: impl FnOnce(&mut ChaosStats)) {
+    let mut s = stats.get();
+    f(&mut s);
+    stats.set(s);
+}
+
 /// One frame held back (reorder, delay, or peer stall), released by
 /// `flush_due` in `(release_ns, submission order)` order.
 struct HeldFrame {
@@ -224,7 +249,9 @@ pub struct FaultBackplane<B: Backplane> {
     /// Held frames sorted by `(release_ns, order)`.
     held: Vec<HeldFrame>,
     next_order: u64,
-    stats: ChaosStats,
+    /// Shared so a flight-recorder context source can read the tallies at
+    /// dump time while the interposer keeps mutating them.
+    stats: Rc<Cell<ChaosStats>>,
     flight: FlightRecorder,
 }
 
@@ -251,14 +278,14 @@ impl<B: Backplane> FaultBackplane<B> {
             lanes,
             held: Vec::new(),
             next_order: 0,
-            stats: ChaosStats::default(),
+            stats: Rc::new(Cell::new(ChaosStats::default())),
             flight: FlightRecorder::disabled(),
         }
     }
 
     /// Everything the interposer has done so far.
     pub fn stats(&self) -> ChaosStats {
-        self.stats
+        self.stats.get()
     }
 
     /// The wrapped backend.
@@ -273,9 +300,16 @@ impl<B: Backplane> FaultBackplane<B> {
     }
 
     /// Record injected faults into `flight` (drops, corruptions, blackout
-    /// entries) for post-mortem dumps.
+    /// entries) for post-mortem dumps, and register this interposer's
+    /// tallies as a dump-time context source: every post-mortem carries
+    /// `context["chaos.node<N>"]` with the counts at the moment of the dump.
     pub fn set_flight(&mut self, flight: &FlightRecorder) {
         self.flight = flight.clone();
+        let stats = self.stats.clone();
+        flight.add_context_source(
+            &format!("chaos.node{}", self.node),
+            Rc::new(move || stats.get().to_json()),
+        );
     }
 
     /// Release every held frame whose time has come, in release order.
@@ -336,7 +370,7 @@ impl<B: Backplane> Backplane for FaultBackplane<B> {
     fn send(&mut self, rail: usize, frame: Frame) -> bool {
         let now = self.inner.now_ns();
         self.flush_due(now);
-        self.stats.frames_seen += 1;
+        bump(&self.stats, |s| s.frames_seen += 1);
         let seq = frame.header.seq as u64;
         let d = draw_decision(&mut self.lanes[rail].decision_rng, &self.cfg);
         let (burst_loss, burst_corrupt) = self.lanes[rail].burst_eval(now);
@@ -346,7 +380,7 @@ impl<B: Backplane> Backplane for FaultBackplane<B> {
         // send still "succeeds" — accepted, not delivered, exactly the
         // trait's loss semantics.
         if covered(&lane.local_down, now) || covered(&lane.peer_down, now) {
-            self.stats.blackout_dropped += 1;
+            bump(&self.stats, |s| s.blackout_dropped += 1);
             if !lane.in_blackout {
                 lane.in_blackout = true;
                 self.flight.note(
@@ -364,7 +398,7 @@ impl<B: Backplane> Backplane for FaultBackplane<B> {
         lane.in_blackout = false;
 
         if d.corrupt || burst_corrupt {
-            self.stats.corrupt_dropped += 1;
+            bump(&self.stats, |s| s.corrupt_dropped += 1);
             self.flight.note(
                 FlightCode::FrameCorrupt,
                 self.node,
@@ -377,7 +411,7 @@ impl<B: Backplane> Backplane for FaultBackplane<B> {
             return true;
         }
         if d.drop || burst_loss {
-            self.stats.dropped += 1;
+            bump(&self.stats, |s| s.dropped += 1);
             self.flight.note(
                 FlightCode::FrameDrop,
                 self.node,
@@ -392,22 +426,22 @@ impl<B: Backplane> Backplane for FaultBackplane<B> {
 
         let mut release = now.saturating_add(self.cfg.delay_ns);
         if d.reorder {
-            self.stats.reordered += 1;
+            bump(&self.stats, |s| s.reordered += 1);
             release = release.saturating_add(self.cfg.reorder_delay_ns);
         }
         // Peer receive path stalled: hold until the stall ends (the frames
         // netsim would park in the frozen NIC).
         if let Some(end) = stall_release(&self.lanes[rail].peer_stall, release) {
-            self.stats.stall_held += 1;
+            bump(&self.stats, |s| s.stall_held += 1);
             release = release.max(end);
         }
 
         let dup = d.dup;
         if dup {
-            self.stats.duplicated += 1;
+            bump(&self.stats, |s| s.duplicated += 1);
         }
         let accepted = if release > now {
-            self.stats.delayed += 1;
+            bump(&self.stats, |s| s.delayed += 1);
             self.hold(release, rail, frame.clone());
             true
         } else {

@@ -42,7 +42,7 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use frame::{decode_frame, encode_frame_into, CodecError, Frame, MacAddr};
-use me_trace::{FlightCode, FlightRecorder};
+use me_trace::{FlightCode, FlightRecorder, Json};
 
 use super::{Backplane, BpRx};
 
@@ -135,6 +135,29 @@ impl std::fmt::Display for UdpRxError {
 
 impl std::error::Error for UdpRxError {}
 
+impl UdpRxError {
+    /// JSON rendering used by the flight-recorder context source.
+    pub fn to_json(&self) -> Json {
+        match self {
+            UdpRxError::UnknownSource { node, rail, from } => Json::obj()
+                .set("kind", "unknown_source")
+                .set("node", *node)
+                .set("rail", *rail)
+                .set("from", from.to_string()),
+            UdpRxError::Corrupt { node, rail, err } => Json::obj()
+                .set("kind", "corrupt")
+                .set("node", *node)
+                .set("rail", *rail)
+                .set("detail", format!("{err:?}")),
+            UdpRxError::Malformed { node, rail, err } => Json::obj()
+                .set("kind", "malformed")
+                .set("node", *node)
+                .set("rail", *rail)
+                .set("detail", format!("{err:?}")),
+        }
+    }
+}
+
 /// Receive-path counters of one [`UdpFabric`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct UdpFabricStats {
@@ -147,6 +170,23 @@ pub struct UdpFabricStats {
     /// Datagrams dropped because their source address was not the expected
     /// peer socket.
     pub unknown_source_dropped: u64,
+    /// Parked [`UdpRxError`] entries evicted from the bounded error log
+    /// before anyone read them — nonzero means the typed error detail (not
+    /// the drop itself, which the counters above retain) was lost.
+    pub rx_errors_dropped: u64,
+}
+
+impl UdpFabricStats {
+    /// JSON rendering used by the flight-recorder context source and the
+    /// telemetry bench report.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("delivered", self.delivered)
+            .set("frames_corrupt_dropped", self.frames_corrupt_dropped)
+            .set("frames_malformed_dropped", self.frames_malformed_dropped)
+            .set("unknown_source_dropped", self.unknown_source_dropped)
+            .set("rx_errors_dropped", self.rx_errors_dropped)
+    }
 }
 
 /// All sockets of one two-node loopback fabric (see module docs).
@@ -173,6 +213,8 @@ pub struct UdpFabric {
     unknown_source_dropped: Cell<u64>,
     /// Bounded log of receive errors (newest kept, oldest discarded).
     rx_errors: RefCell<VecDeque<UdpRxError>>,
+    /// Errors evicted from `rx_errors` unread (overflow observability).
+    rx_errors_dropped: Cell<u64>,
     /// Optional flight recorder: corrupt drops are noted as trace events.
     flight: RefCell<FlightRecorder>,
     /// Reusable receive buffer.
@@ -228,6 +270,7 @@ impl UdpFabric {
             malformed_dropped: Cell::new(0),
             unknown_source_dropped: Cell::new(0),
             rx_errors: RefCell::new(VecDeque::new()),
+            rx_errors_dropped: Cell::new(0),
             flight: RefCell::new(FlightRecorder::disabled()),
             buf: RefCell::new(vec![0u8; DATAGRAM_BUF].into_boxed_slice()),
             scratch: RefCell::new(Vec::with_capacity(DATAGRAM_BUF)),
@@ -255,6 +298,7 @@ impl UdpFabric {
             frames_corrupt_dropped: self.corrupt_dropped.get(),
             frames_malformed_dropped: self.malformed_dropped.get(),
             unknown_source_dropped: self.unknown_source_dropped.get(),
+            rx_errors_dropped: self.rx_errors_dropped.get(),
         }
     }
 
@@ -271,9 +315,30 @@ impl UdpFabric {
         self.rx_errors.borrow_mut().pop_front()
     }
 
-    /// Record corrupt-frame drops into `flight` as `frame_corrupt` events.
-    pub fn set_flight(&self, flight: &FlightRecorder) {
+    /// Record corrupt-frame drops into `flight` as `frame_corrupt` events,
+    /// and register the fabric's receive-path state as a dump-time context
+    /// source: every post-mortem carries `context.udp_fabric` with the
+    /// counters plus the still-parked [`UdpRxError`] log. The source holds
+    /// a `Weak` back-reference — the fabric owns the recorder, so a strong
+    /// one would leak both.
+    pub fn set_flight(self: &Rc<Self>, flight: &FlightRecorder) {
         *self.flight.borrow_mut() = flight.clone();
+        let fabric = Rc::downgrade(self);
+        flight.add_context_source(
+            "udp_fabric",
+            Rc::new(move || {
+                let Some(fabric) = fabric.upgrade() else {
+                    return Json::obj().set("gone", true);
+                };
+                let errors: Vec<Json> = fabric
+                    .rx_errors
+                    .borrow()
+                    .iter()
+                    .map(UdpRxError::to_json)
+                    .collect();
+                fabric.stats().to_json().set("rx_errors", errors)
+            }),
+        );
     }
 
     /// The local address of `node`'s socket on `rail` (testing hook for
@@ -309,6 +374,9 @@ impl UdpFabric {
         let mut log = self.rx_errors.borrow_mut();
         if log.len() >= RX_ERROR_LOG {
             log.pop_front();
+            // Eviction is silent data loss without a counter: the drop
+            // stays visible in `stats()` even after the detail is gone.
+            self.rx_errors_dropped.set(self.rx_errors_dropped.get() + 1);
         }
         log.push_back(err);
     }

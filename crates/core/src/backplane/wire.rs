@@ -28,7 +28,10 @@ use std::collections::VecDeque;
 
 use bytes::Bytes;
 use frame::{FastMap, Frame, FrameFlags, FrameHeader, FrameKind, NackRanges};
-use me_trace::{FlightCode, FlightRecorder, Leg, SpanKey, SpanKind, SpanRecorder};
+use me_trace::{
+    FlightCode, FlightRecorder, Leg, SourceId, SpanKey, SpanKind, SpanRecorder, Timeline,
+    TimelineBuilder,
+};
 use netsim::SimTime;
 
 use crate::config::ProtoConfig;
@@ -321,6 +324,26 @@ pub struct WireEndpoint {
     /// the fingerprinted [`ProtoStats`]).
     storm_suppressed: u64,
     rng: u64,
+    sampler: Option<WireSampler>,
+}
+
+/// Time-resolved sampler state for a wire endpoint: the timeline ring plus
+/// the source handles and the watchdog-token tracker feeding the
+/// `token_age_ns` gauge (how long since real protocol progress).
+struct WireSampler {
+    tl: Timeline,
+    counters: [SourceId; 24],
+    progress_token: SourceId,
+    token_age_ns: SourceId,
+    in_flight: SourceId,
+    active_rails: SourceId,
+    rto_ns: SourceId,
+    backoff: SourceId,
+    fence_buffered: SourceId,
+    rail_state: Vec<SourceId>,
+    rail_backlog: Vec<SourceId>,
+    last_token: u64,
+    last_token_change_ns: u64,
 }
 
 impl WireEndpoint {
@@ -350,7 +373,116 @@ impl WireEndpoint {
             completions: VecDeque::new(),
             storm_suppressed: 0,
             rng: 0x9e37_79b9_7f4a_7c15 ^ (node as u64) << 32,
+            sampler: None,
         }
+    }
+
+    /// Enable time-resolved telemetry: one row per `interval_ns` of the
+    /// backplane clock (virtual on the simulator, wall on UDP), at most
+    /// `capacity` retained rows, grid anchored at `start_ns`. Sources:
+    /// every monotone [`ProtoStats`] counter, the watchdog progress token
+    /// and its age, send-window occupancy, live-rail count, RTO/backoff
+    /// state, fence-held fragments, and per-rail transmit backlog. Rows are
+    /// committed from inside [`WireEndpoint::poll`]; take one final row
+    /// with [`WireEndpoint::sample_timeline`] before reading the result so
+    /// the deltas reconcile with [`WireEndpoint::stats`] exactly.
+    pub fn enable_timeline(
+        &mut self,
+        rails: usize,
+        interval_ns: u64,
+        capacity: usize,
+        start_ns: u64,
+    ) {
+        let mut b = TimelineBuilder::new();
+        let counters = ProtoStats::default()
+            .monotone_counters()
+            .map(|(name, _)| b.counter(name));
+        let progress_token = b.counter("progress_token");
+        let token_age_ns = b.gauge("token_age_ns");
+        let in_flight = b.gauge("in_flight");
+        let active_rails = b.gauge("active_rails");
+        let rto_ns = b.gauge("rto_ns");
+        let backoff = b.gauge("rto_backoff");
+        let fence_buffered = b.gauge("fence_buffered");
+        let mut rail_state = Vec::with_capacity(rails);
+        let mut rail_backlog = Vec::with_capacity(rails);
+        for r in 0..rails {
+            rail_state.push(b.gauge(&format!("rail{r}.state")));
+            rail_backlog.push(b.gauge(&format!("rail{r}.backlog_ns")));
+        }
+        self.sampler = Some(WireSampler {
+            tl: b.build(interval_ns, capacity, start_ns),
+            counters,
+            progress_token,
+            token_age_ns,
+            in_flight,
+            active_rails,
+            rto_ns,
+            backoff,
+            fence_buffered,
+            rail_state,
+            rail_backlog,
+            last_token: 0,
+            last_token_change_ns: start_ns,
+        });
+    }
+
+    /// Commit one timeline row right now (no-op without
+    /// [`WireEndpoint::enable_timeline`]). Called automatically from
+    /// [`WireEndpoint::poll`] when a row is due; call it once more after
+    /// the drive loop ends for the exact reconciliation row.
+    pub fn sample_timeline<B: Backplane>(&mut self, bp: &mut B) {
+        if self.sampler.is_none() {
+            return;
+        }
+        let now = bp.now_ns();
+        let stats = self.stats;
+        let token = self.progress_token();
+        let in_flight: u64 = self.conns.iter().map(|c| c.in_flight()).sum();
+        let active = self.min_active_rails().unwrap_or(0) as u64;
+        let rto = self
+            .conns
+            .iter()
+            .map(|c| c.rtt.current_rto().as_nanos())
+            .max()
+            .unwrap_or(0);
+        let backoff = u64::from(self.max_backoff());
+        let fence = self.fence_buffered_total() as u64;
+        let s = self.sampler.as_mut().expect("checked above");
+        if token != s.last_token {
+            s.last_token = token;
+            s.last_token_change_ns = now;
+        }
+        for (id, (_, v)) in s.counters.iter().zip(stats.monotone_counters()) {
+            s.tl.set(*id, v);
+        }
+        s.tl.set(s.progress_token, token);
+        s.tl.set(s.token_age_ns, now.saturating_sub(s.last_token_change_ns));
+        s.tl.set(s.in_flight, in_flight);
+        s.tl.set(s.active_rails, active);
+        s.tl.set(s.rto_ns, rto);
+        s.tl.set(s.backoff, backoff);
+        s.tl.set(s.fence_buffered, fence);
+        for (r, &sid) in s.rail_state.iter().enumerate() {
+            // Worst (highest-coded) rail state across connections; in the
+            // standard `pair` arrangement there is exactly one connection.
+            let code = self
+                .conns
+                .iter()
+                .map(|c| crate::timeline::rail_state_code(c.rails.state(r)))
+                .max()
+                .unwrap_or(0);
+            s.tl.set(sid, code);
+        }
+        for (r, &bid) in s.rail_backlog.iter().enumerate() {
+            s.tl.set(bid, bp.tx_backlog_ns(r));
+        }
+        s.tl.sample(now);
+    }
+
+    /// Detach and return the sample ring recorded so far.
+    pub fn take_timeline(&mut self) -> Option<Timeline> {
+        self.sampler.take().map(|s| s.tl)
     }
 
     /// Attach a flight recorder: RTO backoffs, rail deaths/readmissions,
@@ -581,7 +713,13 @@ impl WireEndpoint {
             progressed = true;
             self.apply_rx(bp, rx);
         }
-        progressed | self.fire_timers(bp)
+        let progressed = progressed | self.fire_timers(bp);
+        if let Some(s) = &self.sampler {
+            if s.tl.due(bp.now_ns()) {
+                self.sample_timeline(bp);
+            }
+        }
+        progressed
     }
 
     // ------------------------------------------------------------------

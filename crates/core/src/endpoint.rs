@@ -363,6 +363,16 @@ impl Endpoint {
         self.inner.borrow().conns[conn].peer_node
     }
 
+    /// The simulator this endpoint runs on (for crate-internal samplers).
+    pub(crate) fn sim_handle(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Number of NICs (rails) this endpoint stripes onto.
+    pub(crate) fn nic_count(&self) -> usize {
+        self.inner.borrow().nics.len()
+    }
+
     /// Health state of every rail, from connection `conn`'s sending side.
     pub fn rail_states(&self, conn: usize) -> Vec<RailState> {
         let inner = self.inner.borrow();
@@ -384,6 +394,32 @@ impl Endpoint {
     /// Connection `conn`'s smoothed RTT, once at least one sample exists.
     pub fn srtt(&self, conn: usize) -> Option<Dur> {
         self.inner.borrow().conns[conn].rtt.srtt()
+    }
+
+    /// Health state of one rail, from connection `conn`'s sending side.
+    /// The allocation-free sibling of [`Endpoint::rail_states`], for
+    /// samplers that poll per rail on the datapath.
+    pub fn rail_state(&self, conn: usize, rail: usize) -> RailState {
+        self.inner.borrow().conns[conn].rails.state(rail)
+    }
+
+    /// Sequence-space bytes connection `conn` has sent but not yet had
+    /// acknowledged — the send-window occupancy.
+    pub fn conn_in_flight(&self, conn: usize) -> u64 {
+        self.inner.borrow().conns[conn].in_flight()
+    }
+
+    /// Connection `conn`'s current exponential-backoff level (0 = the RTO
+    /// has not backed off).
+    pub fn rto_backoff(&self, conn: usize) -> u32 {
+        self.inner.borrow().conns[conn].rtt.backoff()
+    }
+
+    /// Transmit backlog of this node's `rail`-th NIC, in nanoseconds of
+    /// serialization time still queued.
+    pub fn nic_backlog_ns(&self, rail: usize) -> u64 {
+        let inner = self.inner.borrow();
+        self.net.nic_tx_backlog(inner.nics[rail]).as_nanos()
     }
 
     /// Write directly into this node's local memory (models the application

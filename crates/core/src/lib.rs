@@ -65,6 +65,7 @@ pub mod sched;
 pub mod seqspace;
 pub mod stats;
 pub mod striping;
+pub mod timeline;
 
 pub use backplane::{
     Backplane, BpRx, ChaosConfig, FaultBackplane, SimBackplane, UdpBackplane, UdpFabric,
@@ -78,6 +79,7 @@ pub use railhealth::{RailEvent, RailSet, RailState};
 pub use rtt::RttEstimator;
 pub use sched::{LinkScheduler, SchedPolicy};
 pub use stats::{CpuSnapshot, ProtoStats};
+pub use timeline::{rail_state_code, EndpointSampler, EndpointTimeline};
 
 // The protocol stack is single-threaded by design: endpoints, backplanes
 // and operation handles all share `Rc`-backed state with the simulator

@@ -106,6 +106,41 @@ impl ProtoStats {
         self.reorder_peak = self.reorder_peak.max(o.reorder_peak);
     }
 
+    /// Every monotonically non-decreasing counter, paired with a stable
+    /// name, in declaration order. This is the registration list for
+    /// time-resolved telemetry: interval deltas of exactly these fields
+    /// telescope back to the end-of-run aggregate (the max-merged
+    /// `rto_backoff_max` / `reorder_peak` gauges are excluded — their
+    /// deltas would not sum to anything meaningful).
+    pub fn monotone_counters(&self) -> [(&'static str, u64); 24] {
+        [
+            ("ops_write", self.ops_write),
+            ("ops_read", self.ops_read),
+            ("bytes_written", self.bytes_written),
+            ("bytes_read", self.bytes_read),
+            ("data_frames_sent", self.data_frames_sent),
+            ("data_bytes_sent", self.data_bytes_sent),
+            ("read_req_frames_sent", self.read_req_frames_sent),
+            ("explicit_acks_sent", self.explicit_acks_sent),
+            ("nacks_sent", self.nacks_sent),
+            ("retransmits_nack", self.retransmits_nack),
+            ("retransmits_rto", self.retransmits_rto),
+            ("rail_down_events", self.rail_down_events),
+            ("rail_up_events", self.rail_up_events),
+            ("data_frames_recv", self.data_frames_recv),
+            ("data_bytes_recv", self.data_bytes_recv),
+            ("ctrl_frames_recv", self.ctrl_frames_recv),
+            ("dup_frames_recv", self.dup_frames_recv),
+            ("ooo_arrivals", self.ooo_arrivals),
+            ("corrupt_frames", self.corrupt_frames),
+            ("rx_interrupts", self.rx_interrupts),
+            ("rx_coalesced", self.rx_coalesced),
+            ("tx_interrupts", self.tx_interrupts),
+            ("tx_coalesced", self.tx_coalesced),
+            ("notifications", self.notifications),
+        ]
+    }
+
     /// Total retransmitted frames.
     pub fn retransmits(&self) -> u64 {
         self.retransmits_nack + self.retransmits_rto

@@ -1,0 +1,187 @@
+//! Endpoint-side time-resolved telemetry: a [`me_trace::Timeline`] sampler
+//! wired to the protocol's live state.
+//!
+//! [`EndpointTimeline`] registers one counter per monotone [`ProtoStats`]
+//! field ([`ProtoStats::monotone_counters`]) plus the dynamic state the
+//! aggregates cannot show — send-window occupancy, per-rail health and NIC
+//! backlog, the current RTO and its backoff level. [`Endpoint::start_timeline`]
+//! arms a self-rescheduling simulator event that commits one row per
+//! interval of virtual time; the recurring event stores its closure inline
+//! in the engine's event slab and every reading lands in storage
+//! preallocated at arm time, so sampling adds no allocations to the
+//! datapath (the telemetry bench gates this).
+//!
+//! The event disarms itself once the simulation has no live tasks left, so
+//! an armed sampler never prevents [`netsim::Sim::run`] from quiescing;
+//! [`EndpointSampler::finish`] then takes one final row so the summed
+//! per-interval deltas reconcile *exactly* with the endpoint's end-of-run
+//! [`ProtoStats`].
+
+use crate::endpoint::Endpoint;
+use crate::railhealth::RailState;
+use crate::stats::ProtoStats;
+use me_trace::{SourceId, Timeline, TimelineBuilder};
+use netsim::{Dur, Sim};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Stable gauge encoding of a rail's health state, for timeline rows.
+pub fn rail_state_code(s: RailState) -> u64 {
+    match s {
+        RailState::Healthy => 0,
+        RailState::Degraded => 1,
+        RailState::Dead => 2,
+        RailState::Probing => 3,
+    }
+}
+
+/// A [`Timeline`] plus the source handles for one endpoint's signals:
+/// every monotone `ProtoStats` counter, connection-level window/RTO state,
+/// and per-rail health + NIC backlog gauges.
+pub struct EndpointTimeline {
+    tl: Timeline,
+    conn: usize,
+    counters: [SourceId; 24],
+    in_flight: SourceId,
+    active_rails: SourceId,
+    rto_ns: SourceId,
+    backoff: SourceId,
+    rail_state: Vec<SourceId>,
+    nic_backlog: Vec<SourceId>,
+}
+
+impl EndpointTimeline {
+    /// Register the standard endpoint source set for a node with `rails`
+    /// NICs, watching connection `conn`, sampling every `interval` with at
+    /// most `capacity` retained rows; the grid is anchored at `start_ns`.
+    pub fn new(rails: usize, conn: usize, interval: Dur, capacity: usize, start_ns: u64) -> Self {
+        let mut b = TimelineBuilder::new();
+        let counters = ProtoStats::default()
+            .monotone_counters()
+            .map(|(name, _)| b.counter(name));
+        let in_flight = b.gauge("in_flight");
+        let active_rails = b.gauge("active_rails");
+        let rto_ns = b.gauge("rto_ns");
+        let backoff = b.gauge("rto_backoff");
+        let mut rail_state = Vec::with_capacity(rails);
+        let mut nic_backlog = Vec::with_capacity(rails);
+        for r in 0..rails {
+            rail_state.push(b.gauge(&format!("rail{r}.state")));
+            nic_backlog.push(b.gauge(&format!("rail{r}.backlog_ns")));
+        }
+        EndpointTimeline {
+            tl: b.build(interval.as_nanos(), capacity, start_ns),
+            conn,
+            counters,
+            in_flight,
+            active_rails,
+            rto_ns,
+            backoff,
+            rail_state,
+            nic_backlog,
+        }
+    }
+
+    /// Is a row due at `now_ns`?
+    pub fn due(&self, now_ns: u64) -> bool {
+        self.tl.due(now_ns)
+    }
+
+    /// Read every registered signal from `ep` and commit one row stamped
+    /// `now_ns`. Allocation-free.
+    pub fn sample(&mut self, ep: &Endpoint, now_ns: u64) {
+        let stats = ep.stats();
+        for (id, (_, v)) in self.counters.iter().zip(stats.monotone_counters()) {
+            self.tl.set(*id, v);
+        }
+        self.tl.set(self.in_flight, ep.conn_in_flight(self.conn));
+        self.tl.set(self.active_rails, ep.active_rails(self.conn) as u64);
+        self.tl.set(self.rto_ns, ep.current_rto(self.conn).as_nanos());
+        self.tl.set(self.backoff, u64::from(ep.rto_backoff(self.conn)));
+        for (r, (&sid, &bid)) in self.rail_state.iter().zip(&self.nic_backlog).enumerate() {
+            self.tl.set(sid, rail_state_code(ep.rail_state(self.conn, r)));
+            self.tl.set(bid, ep.nic_backlog_ns(r));
+        }
+        self.tl.sample(now_ns);
+    }
+
+    /// The underlying sample ring.
+    pub fn timeline(&self) -> &Timeline {
+        &self.tl
+    }
+
+    /// Consume the sampler, keeping only the sample ring.
+    pub fn into_timeline(self) -> Timeline {
+        self.tl
+    }
+}
+
+/// Handle to a running simulator-driven sampler (see
+/// [`Endpoint::start_timeline`]).
+pub struct EndpointSampler {
+    ep: Endpoint,
+    tl: Rc<RefCell<EndpointTimeline>>,
+    stop: Rc<Cell<bool>>,
+}
+
+impl EndpointSampler {
+    /// Stop re-arming, take one final reconciliation row at the current
+    /// virtual time, and return the finished timeline. Call after
+    /// `sim.run()`: the final row makes `base + Σ deltas` equal the
+    /// endpoint's end-of-run stats exactly.
+    pub fn finish(self) -> Timeline {
+        self.stop.set(true);
+        let now = self.ep.sim_handle().now().as_nanos();
+        let mut tl = self.tl.borrow_mut();
+        tl.sample(&self.ep, now);
+        tl.timeline().clone()
+    }
+
+    /// Shared access to the live sampler (e.g. to inspect mid-run).
+    pub fn shared(&self) -> Rc<RefCell<EndpointTimeline>> {
+        self.tl.clone()
+    }
+}
+
+fn arm(sim: &Sim, ep: Endpoint, tl: Rc<RefCell<EndpointTimeline>>, stop: Rc<Cell<bool>>, d: Dur) {
+    // The closure captures ~56 bytes, under the engine's inline-event
+    // threshold: re-arming costs no heap allocation per tick.
+    sim.schedule_in(d, move |sim| {
+        if stop.get() {
+            return;
+        }
+        tl.borrow_mut().sample(&ep, sim.now().as_nanos());
+        // Re-arm only while application tasks are live, so the recurring
+        // event never keeps the simulation from quiescing.
+        if sim.live_tasks() > 0 {
+            arm(sim, ep, tl, stop, d);
+        }
+    });
+}
+
+impl Endpoint {
+    /// Arm a recurring virtual-time sampler on this endpoint, watching
+    /// connection `conn`: one timeline row every `interval`, at most
+    /// `capacity` retained rows (oldest evicted beyond that). The sampler
+    /// disarms itself when the simulation runs out of live tasks; call
+    /// [`EndpointSampler::finish`] after `sim.run()` for the final
+    /// reconciliation row.
+    pub fn start_timeline(&self, conn: usize, interval: Dur, capacity: usize) -> EndpointSampler {
+        let sim = self.sim_handle().clone();
+        let start_ns = sim.now().as_nanos();
+        let tl = Rc::new(RefCell::new(EndpointTimeline::new(
+            self.nic_count(),
+            conn,
+            interval,
+            capacity,
+            start_ns,
+        )));
+        let stop = Rc::new(Cell::new(false));
+        arm(&sim, self.clone(), tl.clone(), stop.clone(), interval);
+        EndpointSampler {
+            ep: self.clone(),
+            tl,
+            stop,
+        }
+    }
+}

@@ -43,6 +43,8 @@
 //! assert_eq!(task.try_take(), Some(10_000));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cpu;
 pub mod engine;
 pub mod faults;

@@ -47,6 +47,7 @@ use crate::net::{splitmix64, BoundaryTx, ChannelId, Network, NicId, RemoteDest, 
 use crate::time::{Dur, SimTime};
 use crate::topology::ClusterSpec;
 use frame::{FastMap, MacAddr};
+use me_trace::{SourceId, Timeline, TimelineBuilder};
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -456,6 +457,18 @@ pub struct ShardRunConfig {
     pub virtual_limit: Option<Dur>,
     /// Abort (with [`ShardError::WallClockExceeded`]) past this wall time.
     pub wall_limit: Option<std::time::Duration>,
+    /// When set, each shard samples its cumulative event count onto a
+    /// virtual-time grid of this spacing, published as one
+    /// [`me_trace::Timeline`] per shard in [`ShardRunReport::samples`].
+    /// Rows land at window boundaries, which every shard crosses at the
+    /// same virtual instants regardless of [`ShardMode`] — so the sample
+    /// grids are identical across shards and modes, and per-interval
+    /// deltas can be compared shard-against-shard (the imbalance index).
+    pub sample_interval: Option<Dur>,
+    /// Most retained rows per shard timeline when sampling is on; the
+    /// oldest rows are evicted (their deltas fold into the base) beyond
+    /// this.
+    pub sample_capacity: usize,
 }
 
 impl Default for ShardRunConfig {
@@ -464,6 +477,8 @@ impl Default for ShardRunConfig {
             mode: ShardMode::Auto,
             virtual_limit: None,
             wall_limit: None,
+            sample_interval: None,
+            sample_capacity: 4096,
         }
     }
 }
@@ -563,6 +578,11 @@ pub struct ShardRunReport {
     pub lookahead: Dur,
     /// Per-shard accounting.
     pub per_shard: Vec<ShardStats>,
+    /// Per-shard event timelines, one per shard in shard order, when
+    /// [`ShardRunConfig::sample_interval`] was set; empty otherwise. Each
+    /// carries a single `events` counter whose per-interval deltas are the
+    /// events that shard executed in that slice of virtual time.
+    pub samples: Vec<Timeline>,
 }
 
 /// Everything one shard publishes after executing a window; the inputs to
@@ -606,6 +626,52 @@ fn decide(window: u64, lookahead_ns: u64, reports: &[RoundReport]) -> Decision {
         // Idle fast-forward: jump to the window containing the earliest
         // future work.
         Decision::Continue((window + 1).max(global_min / lookahead_ns))
+    }
+}
+
+/// One shard's event-count sampler: a single-counter [`Timeline`] fed the
+/// shard's cumulative event count at every window boundary where a grid
+/// row is due. Window boundaries are the same virtual instants on every
+/// shard and in every [`ShardMode`], so the committed rows line up exactly
+/// across shards — the property the imbalance index depends on.
+struct ShardSampler {
+    tl: Timeline,
+    events: SourceId,
+}
+
+impl ShardSampler {
+    fn new(interval: Dur, capacity: usize) -> Self {
+        let mut b = TimelineBuilder::new();
+        let events = b.counter("events");
+        ShardSampler {
+            tl: b.build(interval.as_nanos(), capacity, 0),
+            events,
+        }
+    }
+
+    /// Commit a row stamped `window_end_ns` if one is due there.
+    fn observe(&mut self, window_end_ns: u64, events: u64) {
+        if self.tl.due(window_end_ns) {
+            self.tl.set(self.events, events);
+            self.tl.sample(window_end_ns);
+        }
+    }
+
+    /// Final reconciliation row stamped at the last round's window end (an
+    /// instant every shard crossed, in every mode): afterwards the
+    /// timeline's base plus the sum of retained deltas equals `events`
+    /// exactly.
+    fn finish(mut self, end_ns: u64, events: u64) -> Timeline {
+        let stale = self
+            .tl
+            .len()
+            .checked_sub(1)
+            .is_none_or(|last| self.tl.row(last).0 < end_ns);
+        if stale {
+            self.tl.set(self.events, events);
+            self.tl.sample(end_ns);
+        }
+        self.tl
     }
 }
 
@@ -764,8 +830,15 @@ fn run_cooperative<S, Out: Send>(
     let mut held: Vec<BinaryHeap<HeldMsg>> = (0..shards).map(|_| BinaryHeap::new()).collect();
     let mut seqs = vec![0u64; shards];
     let mut stats = vec![ShardStats::default(); shards];
+    let mut samplers: Vec<Option<ShardSampler>> = (0..shards)
+        .map(|_| {
+            cfg.sample_interval
+                .map(|iv| ShardSampler::new(iv, cfg.sample_capacity))
+        })
+        .collect();
     let mut window = 0u64;
     let mut windows_run = 0u64;
+    let mut last_window_end_ns;
     let started = Instant::now();
     let decision = loop {
         if let Some(wall) = cfg.wall_limit {
@@ -776,6 +849,7 @@ fn run_cooperative<S, Out: Send>(
             }
         }
         let window_end_ns = (window + 1) * lookahead_ns;
+        last_window_end_ns = window_end_ns;
         let mut staged: Vec<(usize, BoundaryMsg)> = Vec::new();
         let mut reports = Vec::with_capacity(shards);
         for s in 0..shards {
@@ -786,6 +860,9 @@ fn run_cooperative<S, Out: Send>(
                 window_end_ns,
                 &mut stats[s],
             );
+            if let Some(smp) = &mut samplers[s] {
+                smp.observe(window_end_ns, stats[s].events);
+            }
             staged.extend(out);
             reports.push(report);
         }
@@ -825,6 +902,11 @@ fn run_cooperative<S, Out: Send>(
                 .map(|(sn, st)| collect(sn, st.take().expect("state consumed once")))
                 .collect();
             let end_time = nets.iter().map(|sn| sn.sim.now()).max().unwrap_or(SimTime::ZERO);
+            let samples = samplers
+                .into_iter()
+                .zip(&stats)
+                .flat_map(|(smp, st)| smp.map(|s| s.finish(last_window_end_ns, st.events)))
+                .collect();
             Ok((
                 ShardRunReport {
                     shards,
@@ -833,6 +915,7 @@ fn run_cooperative<S, Out: Send>(
                     threaded: false,
                     lookahead: plan.lookahead(),
                     per_shard: stats,
+                    samples,
                 },
                 outs,
             ))
@@ -879,7 +962,8 @@ fn run_threaded<S, Out: Send>(
         panicked: (0..shards).map(|_| AtomicBool::new(false)).collect(),
     };
     let error: Mutex<Option<ShardError>> = Mutex::new(None);
-    let outcomes: Mutex<Vec<Option<(ShardStats, Out, SimTime)>>> =
+    #[allow(clippy::type_complexity)]
+    let outcomes: Mutex<Vec<Option<(ShardStats, Out, SimTime, Option<Timeline>)>>> =
         Mutex::new((0..shards).map(|_| None).collect());
     let windows_run = AtomicU64::new(0);
     let started = Instant::now();
@@ -901,8 +985,12 @@ fn run_threaded<S, Out: Send>(
                 let mut held: BinaryHeap<HeldMsg> = BinaryHeap::new();
                 let mut seq = 0u64;
                 let mut stats = ShardStats::default();
+                let mut sampler = cfg
+                    .sample_interval
+                    .map(|iv| ShardSampler::new(iv, cfg.sample_capacity));
                 let mut window = 0u64;
                 let mut round = 0u64;
+                let mut last_window_end_ns;
                 let mut dead = false;
                 let verdict: Result<(), ShardError> = loop {
                     shared.barrier.wait();
@@ -915,6 +1003,7 @@ fn run_threaded<S, Out: Send>(
                     stats.max_inbox_depth = stats.max_inbox_depth.max(incoming.len());
                     held.extend(incoming.into_iter().map(HeldMsg));
                     let window_end_ns = (window + 1) * lookahead_ns;
+                    last_window_end_ns = window_end_ns;
                     let report = if dead {
                         RoundReport {
                             next_ns: u64::MAX,
@@ -933,7 +1022,12 @@ fn run_threaded<S, Out: Send>(
                             }
                             report
                         })) {
-                            Ok(r) => r,
+                            Ok(r) => {
+                                if let Some(smp) = &mut sampler {
+                                    smp.observe(window_end_ns, stats.events);
+                                }
+                                r
+                            }
                             Err(_) => {
                                 // Keep participating in barriers so the
                                 // other shards can shut down cleanly.
@@ -1013,8 +1107,10 @@ fn run_threaded<S, Out: Send>(
                 match verdict {
                     Ok(()) => {
                         let out = collect(&sn, state.take().expect("state consumed once"));
+                        let tl =
+                            sampler.map(|s| s.finish(last_window_end_ns, stats.events));
                         outcomes.lock().unwrap_or_else(|e| e.into_inner())[shard] =
-                            Some((stats, out, sn.sim.now()));
+                            Some((stats, out, sn.sim.now(), tl));
                     }
                     Err(e) => {
                         let mut slot = error.lock().unwrap_or_else(|e| e.into_inner());
@@ -1042,15 +1138,17 @@ fn run_threaded<S, Out: Send>(
     }
     let mut per_shard = Vec::with_capacity(shards);
     let mut outs = Vec::with_capacity(shards);
+    let mut samples = Vec::new();
     let mut end_time = SimTime::ZERO;
     for slot in outcomes
         .into_inner()
         .unwrap_or_else(|e| e.into_inner())
         .into_iter()
     {
-        let (stats, out, now) = slot.expect("every shard reports an outcome on success");
+        let (stats, out, now, tl) = slot.expect("every shard reports an outcome on success");
         per_shard.push(stats);
         outs.push(out);
+        samples.extend(tl);
         end_time = end_time.max(now);
     }
     Ok((
@@ -1061,6 +1159,7 @@ fn run_threaded<S, Out: Send>(
             threaded: true,
             lookahead: plan.lookahead(),
             per_shard,
+            samples,
         },
         outs,
     ))
@@ -1182,6 +1281,93 @@ mod tests {
         assert_eq!(coop, thr);
     }
 
+    /// The all-to-all workload with event sampling on: returns the report
+    /// so tests can compare sample grids across modes.
+    fn sampled_all_to_all(shards: usize, mode: ShardMode) -> ShardRunReport {
+        let spec = spec(4, 1);
+        let cfg = ShardRunConfig {
+            mode,
+            wall_limit: Some(std::time::Duration::from_secs(30)),
+            sample_interval: Some(Dur(2_000)),
+            ..Default::default()
+        };
+        let (report, _) = run_sharded(
+            &spec,
+            shards,
+            7,
+            None,
+            &cfg,
+            |sn: &ShardNet| {
+                for &node in sn.local_nodes() {
+                    for peer in 0..4u16 {
+                        if peer as usize == node {
+                            continue;
+                        }
+                        let f = Frame {
+                            src: MacAddr::new(node as u16, 0),
+                            dst: MacAddr::new(peer, 0),
+                            header: FrameHeader::default(),
+                            payload: Bytes::from(vec![0u8; 256]),
+                        };
+                        let net = sn.net().clone();
+                        let nic = sn.nics(node)[0];
+                        sn.sim().schedule_at(SimTime::ZERO, move |_| {
+                            net.nic_send(nic, f);
+                        });
+                    }
+                }
+            },
+            |_, _| (),
+        )
+        .unwrap();
+        report
+    }
+
+    fn rows(tl: &Timeline) -> Vec<(u64, Vec<u64>)> {
+        (0..tl.len())
+            .map(|i| {
+                let (t, v) = tl.row(i);
+                (t, v.to_vec())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn event_samples_reconcile_and_match_across_modes() {
+        let coop = sampled_all_to_all(2, ShardMode::Cooperative);
+        assert_eq!(coop.samples.len(), 2, "one timeline per shard");
+        for (tl, st) in coop.samples.iter().zip(&coop.per_shard) {
+            let events = tl.source_id("events").expect("shard timelines carry events");
+            // Telescoping: base + retained deltas == the shard's final
+            // cumulative event count.
+            assert_eq!(
+                tl.base_raw(events) + tl.column_sum(events),
+                st.events,
+                "sampled deltas must reconcile with ShardStats.events"
+            );
+        }
+        let thr = sampled_all_to_all(2, ShardMode::Threaded);
+        for (c, t) in coop.samples.iter().zip(&thr.samples) {
+            assert_eq!(
+                rows(c),
+                rows(t),
+                "sample grids must be bit-identical across execution modes"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_off_publishes_no_timelines() {
+        let spec = spec(4, 1);
+        let cfg = ShardRunConfig {
+            mode: ShardMode::Cooperative,
+            wall_limit: Some(std::time::Duration::from_secs(30)),
+            ..Default::default()
+        };
+        let (report, _) = run_sharded(&spec, 2, 7, None, &cfg, |_| (), |_, _| ()).unwrap();
+        assert!(report.samples.is_empty());
+    }
+
     #[test]
     fn wall_limit_fails_cleanly_not_hangs() {
         // A self-rescheduling event chain never quiesces; the wall limit
@@ -1216,6 +1402,7 @@ mod tests {
             mode: ShardMode::Cooperative,
             virtual_limit: Some(Dur(50_000)),
             wall_limit: Some(std::time::Duration::from_secs(10)),
+            ..Default::default()
         };
         let err = run_sharded(
             &spec(4, 1),

@@ -170,6 +170,10 @@ pub struct FlightDump {
     pub json: Json,
 }
 
+/// A named closure evaluated at dump time; its JSON lands under
+/// `context.<name>` in the dump document.
+type ContextSource = (String, Rc<dyn Fn() -> Json>);
+
 struct FlightState {
     cfg: FlightConfig,
     ring: Vec<FlightEvent>,
@@ -180,6 +184,7 @@ struct FlightState {
     dumps_suppressed: u64,
     write_errors: u64,
     spans: SpanRecorder,
+    context: Vec<ContextSource>,
 }
 
 /// Cheaply cloneable flight-recorder handle ([`crate::Tracer`] pattern:
@@ -209,6 +214,7 @@ impl FlightRecorder {
                 dumps_suppressed: 0,
                 write_errors: 0,
                 spans: SpanRecorder::disabled(),
+                context: Vec::new(),
             }))),
         }
     }
@@ -223,6 +229,19 @@ impl FlightRecorder {
     pub fn set_span_source(&self, spans: &SpanRecorder) {
         if let Some(state) = &self.inner {
             state.borrow_mut().spans = spans.clone();
+        }
+    }
+
+    /// Register a named context source: a closure evaluated at dump time
+    /// whose result lands under `context.<name>` in every subsequent dump.
+    /// This is how transport state that never flows through the event ring
+    /// (chaos-injection tallies, a fabric's parked receive errors) rides
+    /// along in post-mortems. Sources run with the recorder's internal
+    /// borrow released, so they may freely read — even `note` into — the
+    /// component that owns this recorder.
+    pub fn add_context_source(&self, name: &str, f: Rc<dyn Fn() -> Json>) {
+        if let Some(state) = &self.inner {
+            state.borrow_mut().context.push((name.to_string(), f));
         }
     }
 
@@ -331,50 +350,65 @@ impl FlightRecorder {
 
     fn dump(&self, trigger: &str, t_ns: u64) -> Option<Json> {
         let state = self.inner.as_ref()?;
-        let mut s = state.borrow_mut();
-        if s.dumps.len() >= s.cfg.max_dumps {
-            s.dumps_suppressed += 1;
-            return None;
-        }
-        let idx = s.dumps.len();
+        // Snapshot the ring under the borrow, then release it before
+        // evaluating context sources: a source reads live component state
+        // and may re-enter this recorder while doing so.
+        let (idx, mut doc, sources, dir) = {
+            let mut s = state.borrow_mut();
+            if s.dumps.len() >= s.cfg.max_dumps {
+                s.dumps_suppressed += 1;
+                return None;
+            }
+            let idx = s.dumps.len();
 
-        let mut events = Vec::new();
-        let (start, len) = if s.filled {
-            (s.next, s.ring.len())
-        } else {
-            (0, s.next)
+            let mut events = Vec::new();
+            let (start, len) = if s.filled {
+                (s.next, s.ring.len())
+            } else {
+                (0, s.next)
+            };
+            for i in 0..len {
+                let e = &s.ring[(start + i) % s.ring.len()];
+                let mut j = Json::obj()
+                    .set("t_ns", e.t_ns)
+                    .set("code", FlightCode::from_u8(e.code))
+                    .set("node", e.node as u64)
+                    .set("a", e.a)
+                    .set("b", e.b);
+                if e.conn != u16::MAX {
+                    j = j.set("conn", e.conn as u64);
+                }
+                if e.rail != u8::MAX {
+                    j = j.set("rail", e.rail as u64);
+                }
+                events.push(j);
+            }
+
+            let mut doc = Json::obj()
+                .set("schema_version", crate::json::SCHEMA_VERSION)
+                .set("kind", "multiedge_flight_dump")
+                .set("trigger", trigger)
+                .set("t_ns", t_ns)
+                .set("events_total", s.total)
+                .set("events_retained", len)
+                .set("events", events);
+            if let Some(snap) = s.spans.snapshot() {
+                doc = doc.set("attribution", analyze(&snap).to_json());
+            }
+            (idx, doc, s.context.clone(), s.cfg.dump_dir.clone())
         };
-        for i in 0..len {
-            let e = &s.ring[(start + i) % s.ring.len()];
-            let mut j = Json::obj()
-                .set("t_ns", e.t_ns)
-                .set("code", FlightCode::from_u8(e.code))
-                .set("node", e.node as u64)
-                .set("a", e.a)
-                .set("b", e.b);
-            if e.conn != u16::MAX {
-                j = j.set("conn", e.conn as u64);
+
+        if !sources.is_empty() {
+            let mut ctx = Json::obj();
+            for (name, f) in &sources {
+                ctx = ctx.set(name, f());
             }
-            if e.rail != u8::MAX {
-                j = j.set("rail", e.rail as u64);
-            }
-            events.push(j);
+            doc = doc.set("context", ctx);
         }
 
-        let mut doc = Json::obj()
-            .set("schema_version", crate::json::SCHEMA_VERSION)
-            .set("kind", "multiedge_flight_dump")
-            .set("trigger", trigger)
-            .set("t_ns", t_ns)
-            .set("events_total", s.total)
-            .set("events_retained", len)
-            .set("events", events);
-        if let Some(snap) = s.spans.snapshot() {
-            doc = doc.set("attribution", analyze(&snap).to_json());
-        }
-
+        let mut s = state.borrow_mut();
         let mut path = None;
-        if let Some(dir) = s.cfg.dump_dir.clone() {
+        if let Some(dir) = dir {
             let file = format!("{dir}/flight_{idx}_{trigger}.json");
             let ok = std::fs::create_dir_all(&dir).is_ok()
                 && std::fs::write(&file, doc.render_pretty()).is_ok();
@@ -485,6 +519,46 @@ mod tests {
         let fr = FlightRecorder::enabled(FlightConfig::default());
         fr.rail_death(1, None, 2, 60);
         assert_eq!(fr.dumps()[0].trigger, "rail_death");
+    }
+
+    #[test]
+    fn context_sources_ride_along_in_dumps() {
+        let fr = FlightRecorder::enabled(FlightConfig::default());
+        let hits = Rc::new(std::cell::Cell::new(0u64));
+        let h = hits.clone();
+        fr.add_context_source(
+            "chaos",
+            Rc::new(move || {
+                h.set(h.get() + 1);
+                Json::obj().set("frames_dropped", 3u64)
+            }),
+        );
+        let doc = fr.force_dump(10).unwrap();
+        let ctx = doc.get("context").expect("dump carries context");
+        assert_eq!(
+            ctx.get("chaos").unwrap().get("frames_dropped").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(hits.get(), 1, "source evaluated once per dump");
+        fr.force_dump(20).unwrap();
+        assert_eq!(hits.get(), 2, "source re-evaluated on every dump");
+    }
+
+    #[test]
+    fn context_source_may_reenter_recorder() {
+        let fr = FlightRecorder::enabled(FlightConfig::default());
+        let fr2 = fr.clone();
+        fr.add_context_source(
+            "self_noting",
+            Rc::new(move || {
+                // A source reading live component state may cause that
+                // component to note events; must not deadlock on the ring.
+                fr2.note(FlightCode::FaultInjected, 0, None, None, 1, 0, 99);
+                Json::obj().set("ok", true)
+            }),
+        );
+        let doc = fr.force_dump(100).unwrap();
+        assert!(doc.get("context").unwrap().get("self_noting").is_some());
     }
 
     #[test]

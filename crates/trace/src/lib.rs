@@ -82,6 +82,7 @@ pub mod json;
 pub mod report;
 pub mod ring;
 pub mod span;
+pub mod timeline;
 mod tracer;
 
 pub use attribution::{analyze, Attribution, Phase, PhaseBreakdown, PhaseRollup, PHASES};
@@ -92,4 +93,8 @@ pub use hist::LogHistogram;
 pub use json::{require_schema, Json, SCHEMA_VERSION};
 pub use ring::EventRing;
 pub use span::{Leg, OpSpan, SpanKey, SpanKind, SpanRecorder, SpanSnapshot};
+pub use timeline::{
+    imbalance, SourceId, SourceInfo, SourceKind, Timeline, TimelineBuilder, TimelineDoc,
+    TIMELINE_KIND,
+};
 pub use tracer::{TraceSnapshot, Tracer};

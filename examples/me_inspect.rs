@@ -17,6 +17,17 @@
 //! cargo run --release --bin me-inspect -- diff old.json new.json [--json]
 //! ```
 //!
+//! Render an interval-sampled timeline artifact (`Timeline::to_jsonl`,
+//! e.g. `results/telemetry_failover.jsonl`) as per-interval sparkline
+//! tables — derived goodput and retransmit rows, per-rail backlog, then
+//! every non-zero source. Pass several per-shard artifacts at once to add
+//! the cross-shard imbalance table. Exits 2 when a file's telescoping
+//! invariant (`base + Σ deltas == final`) does not hold:
+//!
+//! ```text
+//! cargo run --release --bin me-inspect -- timeline dump.jsonl [more.jsonl ...] [--json]
+//! ```
+//!
 //! With no argument it demonstrates the whole loop end to end: it runs a
 //! two-rail transfer through a scripted rail outage with the always-on
 //! flight recorder enabled, lets the rail-death trigger take its dump, and
@@ -25,7 +36,7 @@
 //! Set `ME_INSPECT_ALL=1` to print every retained event instead of the
 //! trailing window.
 
-use me_trace::{diff_docs, DiffConfig, FlightConfig, Json};
+use me_trace::{diff_docs, imbalance, DiffConfig, FlightConfig, Json, SourceKind, TimelineDoc};
 use multiedge::{Endpoint, OpFlags, SystemConfig};
 use netsim::time::ms;
 use netsim::{build_cluster, FaultPlan, Sim};
@@ -35,6 +46,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("diff") {
         run_diff(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("timeline") {
+        run_timeline(&args[1..]);
     }
     let doc = match args.first() {
         Some(path) => load(path),
@@ -84,6 +98,285 @@ fn run_diff(args: &[String]) -> ! {
         print!("{}", report.render_human(&cfg));
     }
     std::process::exit(if report.regressed() { 2 } else { 0 });
+}
+
+// ---------------------------------------------------------------------------
+// timeline subcommand
+// ---------------------------------------------------------------------------
+
+/// `me-inspect timeline <dump.jsonl> [more.jsonl ...] [--json]`: exit 0
+/// clean, 1 on usage or unreadable/invalid artifacts, 2 when any file's
+/// counter columns fail the telescoping invariant.
+fn run_timeline(args: &[String]) -> ! {
+    let json_out = args.iter().any(|a| a == "--json");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        eprintln!("usage: me-inspect timeline <dump.jsonl> [more.jsonl ...] [--json]");
+        std::process::exit(1);
+    }
+    let docs: Vec<(String, TimelineDoc)> = paths
+        .iter()
+        .map(|p| {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("me-inspect: cannot read {p}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match TimelineDoc::parse_jsonl(&text) {
+                Ok(d) => (p.to_string(), d),
+                Err(e) => {
+                    eprintln!("me-inspect: {p} is not a timeline artifact: {e}");
+                    std::process::exit(1);
+                }
+            }
+        })
+        .collect();
+    let mut broken = false;
+    for (path, doc) in &docs {
+        if let Err(e) = doc.reconcile() {
+            eprintln!("me-inspect: {path}: telescoping invariant VIOLATED: {e}");
+            broken = true;
+        }
+    }
+    if json_out {
+        let files: Vec<Json> = docs.iter().map(|(p, d)| timeline_json(p, d)).collect();
+        let mut out = Json::obj()
+            .set("kind", "me_inspect_timeline")
+            .set("reconciled", !broken)
+            .set("files", files);
+        if docs.len() > 1 {
+            out = out.set("imbalance", imbalance_json(&docs));
+        }
+        print!("{}", out.render_pretty());
+    } else {
+        for (path, doc) in &docs {
+            render_timeline(path, doc);
+        }
+        if docs.len() > 1 {
+            render_imbalance(&docs);
+        }
+    }
+    std::process::exit(if broken { 2 } else { 0 });
+}
+
+/// Eight-level unicode sparkline of a series, bucket-downsampled to at
+/// most `width` cells (counters sum within a bucket, gauges take the max —
+/// the caller picks via `sum_buckets`).
+fn spark(series: &[u64], width: usize, sum_buckets: bool) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() {
+        return String::new();
+    }
+    let buckets = series.len().min(width);
+    let mut vals = Vec::with_capacity(buckets);
+    for b in 0..buckets {
+        let lo = b * series.len() / buckets;
+        let hi = ((b + 1) * series.len() / buckets).max(lo + 1);
+        let cell = &series[lo..hi];
+        vals.push(if sum_buckets {
+            cell.iter().sum::<u64>()
+        } else {
+            cell.iter().copied().max().unwrap_or(0)
+        });
+    }
+    let max = vals.iter().copied().max().unwrap_or(0);
+    vals.iter()
+        .map(|&v| {
+            if max == 0 {
+                LEVELS[0]
+            } else {
+                LEVELS[(v * 7).div_ceil(max).min(7) as usize]
+            }
+        })
+        .collect()
+}
+
+/// Per-interval deltas of a counter column (raw values for a gauge).
+fn series(doc: &TimelineDoc, c: usize) -> Vec<u64> {
+    doc.samples.iter().map(|(_, v)| v[c]).collect()
+}
+
+/// Sum of two optional counter columns per interval (missing → zeros).
+fn series2(doc: &TimelineDoc, a: &str, b: &str) -> Vec<u64> {
+    let za = doc.column(a).map(|c| series(doc, c));
+    let zb = doc.column(b).map(|c| series(doc, c));
+    match (za, zb) {
+        (Some(x), Some(y)) => x.iter().zip(&y).map(|(p, q)| p + q).collect(),
+        (Some(x), None) | (None, Some(x)) => x,
+        (None, None) => Vec::new(),
+    }
+}
+
+const SPARK_WIDTH: usize = 48;
+
+fn render_timeline(path: &str, doc: &TimelineDoc) {
+    let span = (
+        doc.samples.first().map_or(0, |(t, _)| *t),
+        doc.samples.last().map_or(0, |(t, _)| *t),
+    );
+    println!("timeline {path}");
+    println!(
+        "  interval {}  {} rows retained ({} evicted of {} committed)  span {}..{}",
+        fmt_ns(doc.interval_ns),
+        doc.samples.len(),
+        doc.evicted,
+        doc.samples_total,
+        fmt_ns(span.0),
+        fmt_ns(span.1),
+    );
+
+    // Derived rows: goodput from the data-bytes column, total retransmits.
+    let iv_s = doc.interval_ns as f64 / 1e9;
+    if let Some(c) = doc.column("data_bytes_sent") {
+        let bytes = series(doc, c);
+        let peak = bytes.iter().copied().max().unwrap_or(0) as f64 / iv_s / 1e6;
+        let total: u64 = bytes.iter().sum();
+        println!(
+            "  goodput      {}  peak {:.1} MB/s  {} bytes total",
+            spark(&bytes, SPARK_WIDTH, true),
+            peak,
+            total
+        );
+    }
+    let rtx = series2(doc, "retransmits_nack", "retransmits_rto");
+    if !rtx.is_empty() {
+        let active = rtx.iter().filter(|&&v| v > 0).count();
+        println!(
+            "  retransmits  {}  {} total in {} interval(s)",
+            spark(&rtx, SPARK_WIDTH, true),
+            rtx.iter().sum::<u64>(),
+            active
+        );
+    }
+
+    // Every non-zero source, counters before gauges; all-zero ones elided.
+    let mut elided = 0usize;
+    for pass in [SourceKind::Counter, SourceKind::Gauge] {
+        for (c, s) in doc.sources.iter().enumerate() {
+            if s.kind != pass {
+                continue;
+            }
+            let vals = series(doc, c);
+            if vals.iter().all(|&v| v == 0) {
+                elided += 1;
+                continue;
+            }
+            let is_counter = s.kind == SourceKind::Counter;
+            let tail = if is_counter {
+                format!("total {}", s.final_raw - s.base)
+            } else {
+                format!(
+                    "last {}  max {}",
+                    vals.last().copied().unwrap_or(0),
+                    vals.iter().copied().max().unwrap_or(0)
+                )
+            };
+            println!(
+                "  {:<7} {:<22} {}  {tail}",
+                s.kind.label(),
+                s.name,
+                spark(&vals, SPARK_WIDTH, is_counter)
+            );
+        }
+    }
+    if elided > 0 {
+        println!("  ({elided} all-zero source(s) elided)");
+    }
+    println!();
+}
+
+/// The per-interval cross-file imbalance series: each file is one member
+/// (e.g. one shard), measured on its first counter column.
+fn imbalance_rows(docs: &[(String, TimelineDoc)]) -> Vec<(u64, f64, usize)> {
+    let cols: Vec<usize> = docs
+        .iter()
+        .map(|(_, d)| {
+            d.sources
+                .iter()
+                .position(|s| s.kind == SourceKind::Counter)
+                .unwrap_or(0)
+        })
+        .collect();
+    let rows = docs
+        .iter()
+        .map(|(_, d)| d.samples.len())
+        .min()
+        .unwrap_or(0);
+    (0..rows)
+        .map(|i| {
+            let t = docs[0].1.samples[i].0;
+            let vals: Vec<u64> = docs
+                .iter()
+                .zip(&cols)
+                .map(|((_, d), &c)| d.samples[i].1[c])
+                .collect();
+            let (idx, hot) = imbalance(&vals);
+            (t, idx, hot)
+        })
+        .collect()
+}
+
+fn render_imbalance(docs: &[(String, TimelineDoc)]) {
+    let rows = imbalance_rows(docs);
+    if rows.is_empty() {
+        return;
+    }
+    // Sparkline in hundredths so 1.00x maps to the floor of the scale.
+    let centi: Vec<u64> = rows.iter().map(|(_, idx, _)| (idx * 100.0) as u64).collect();
+    let peak = rows
+        .iter()
+        .cloned()
+        .fold((0u64, 1.0f64, 0usize), |acc, r| if r.1 > acc.1 { r } else { acc });
+    println!("cross-file imbalance ({} members, first counter column)", docs.len());
+    println!(
+        "  imbalance    {}  peak {:.2}x at {} (member {} = {})",
+        spark(&centi, SPARK_WIDTH, false),
+        peak.1,
+        fmt_ns(peak.0),
+        peak.2,
+        docs[peak.2].0
+    );
+    println!();
+}
+
+fn timeline_json(path: &str, doc: &TimelineDoc) -> Json {
+    let sources: Vec<Json> = doc
+        .sources
+        .iter()
+        .enumerate()
+        .map(|(c, s)| {
+            let vals = series(doc, c);
+            Json::obj()
+                .set("name", s.name.as_str())
+                .set("kind", s.kind.label())
+                .set("base", s.base)
+                .set("final", s.final_raw)
+                .set("peak_per_interval", vals.iter().copied().max().unwrap_or(0))
+        })
+        .collect();
+    Json::obj()
+        .set("path", path)
+        .set("interval_ns", doc.interval_ns)
+        .set("rows", doc.samples.len())
+        .set("evicted", doc.evicted)
+        .set("samples_total", doc.samples_total)
+        .set("retransmits_total", series2(doc, "retransmits_nack", "retransmits_rto").iter().sum::<u64>())
+        .set("sources", sources)
+}
+
+fn imbalance_json(docs: &[(String, TimelineDoc)]) -> Json {
+    let rows: Vec<Json> = imbalance_rows(docs)
+        .into_iter()
+        .map(|(t, idx, hot)| {
+            Json::obj()
+                .set("t_ns", t)
+                .set("imbalance", idx)
+                .set("hot", hot)
+        })
+        .collect();
+    Json::obj().set("members", docs.len()).set("rows", rows)
 }
 
 /// Run a rail outage under the flight recorder and return its dump.

@@ -5,9 +5,10 @@
 //! timing-independent counter.
 
 use bytes::Bytes;
-use me_trace::SpanRecorder;
+use me_trace::{FlightConfig, FlightRecorder, SpanRecorder};
 use multiedge::backplane::{
-    drive, Backplane, SimBackplane, UdpFabric, UdpFabricConfig, UdpRxError, WireEndpoint,
+    drive, Backplane, ChaosConfig, FaultBackplane, SimBackplane, UdpFabric, UdpFabricConfig,
+    UdpRxError, WireEndpoint,
 };
 use multiedge::{OpFlags, ProtoStats, SystemConfig};
 use netsim::{build_cluster, Sim};
@@ -292,6 +293,47 @@ fn udp_corrupt_datagram_splits_from_malformed() {
     assert_eq!(fabric.decode_dropped(), 2, "legacy combined counter still sums");
 }
 
+/// The receive-error log is bounded: overflowing it must evict the oldest
+/// entries *and say so*. Before the `rx_errors_dropped` counter, evictions
+/// were silent — a burst of errors could vanish without any trace that the
+/// log had wrapped.
+#[test]
+fn udp_rx_error_ring_overflow_is_counted_not_silent() {
+    const RING: u64 = 32;
+    const INJECTED: u64 = RING + 9;
+    let fabric = UdpFabric::new(1).expect("bind loopback sockets");
+    let (_bpa, mut bpb) = fabric.pair();
+    for i in 0..INJECTED {
+        // Malformed on purpose: not a decodable frame, so each datagram
+        // parks exactly one typed error.
+        fabric
+            .inject_raw(0, 0, &[0xDE, 0xAD, i as u8])
+            .expect("inject over loopback");
+        // Inject-then-drain one at a time: UDP datagrams may be dropped
+        // under burst even on loopback, and the test needs an exact count.
+        assert!(
+            poll_until(&mut bpb, || fabric.stats().frames_malformed_dropped == i + 1),
+            "malformed datagram {i} must be counted, stats: {:?}",
+            fabric.stats()
+        );
+    }
+    let s = fabric.stats();
+    assert_eq!(s.frames_malformed_dropped, INJECTED);
+    assert_eq!(
+        s.rx_errors_dropped,
+        INJECTED - RING,
+        "every eviction from the bounded error log must be counted"
+    );
+    // The ring keeps exactly the newest RING errors.
+    let drained = std::iter::from_fn(|| fabric.take_rx_error()).count() as u64;
+    assert_eq!(drained, RING, "log retains exactly its bound");
+    assert_eq!(
+        fabric.stats().rx_errors_dropped,
+        INJECTED - RING,
+        "draining the log does not change the overflow count"
+    );
+}
+
 /// A datagram from a socket that is not the expected peer must be dropped
 /// with a typed `UnknownSource` error — not decoded under a reconstructed
 /// (and wrong) source MAC.
@@ -316,6 +358,61 @@ fn udp_unknown_source_is_rejected_and_typed() {
         other => panic!("expected UnknownSource, got {other:?}"),
     }
     assert_eq!(fabric.stats().delivered, 0);
+}
+
+/// A flight-recorder post-mortem taken on a faulted wire path must carry
+/// the transport's live state as context: the chaos interposer's tallies
+/// and the UDP fabric's counters plus its parked receive-error log —
+/// state that never flows through the event ring but explains it.
+#[test]
+fn flight_dump_carries_chaos_and_fabric_context() {
+    let fabric = UdpFabric::new(1).expect("bind loopback sockets");
+    let (bpa, mut bpb) = fabric.pair();
+    let flight = FlightRecorder::enabled(FlightConfig::default());
+    fabric.set_flight(&flight);
+    let mut a = FaultBackplane::new(bpa, 0, &ChaosConfig::new(5).with_drop(1.0));
+    a.set_flight(&flight);
+
+    // One frame eaten by the interposer, one malformed datagram parked in
+    // the fabric's error log: both must show up in the dump's context.
+    let f = frame::Frame {
+        src: frame::MacAddr::new(0, 0),
+        dst: frame::MacAddr::new(1, 0),
+        header: frame::FrameHeader {
+            kind: frame::FrameKind::Data,
+            flags: frame::FrameFlags::empty(),
+            conn: 0,
+            seq: 1,
+            ack: 0,
+            op_id: 0,
+            op_total_len: 8,
+            fence_floor: 0,
+            remote_addr: 0x1000,
+            aux: 0,
+        },
+        payload: Bytes::from(vec![0u8; 8]),
+    };
+    assert!(a.send(0, f), "chaos drop still reports accepted");
+    fabric.inject_raw(0, 0, &[1, 2, 3]).expect("inject over loopback");
+    assert!(
+        poll_until(&mut bpb, || fabric.stats().frames_malformed_dropped == 1),
+        "malformed datagram must be counted, stats: {:?}",
+        fabric.stats()
+    );
+
+    let doc = flight.force_dump(123).expect("forced dump");
+    let ctx = doc.get("context").expect("dump carries transport context");
+    let chaos = ctx.get("chaos.node0").expect("chaos interposer context");
+    assert_eq!(chaos.get("frames_seen").unwrap().as_u64(), Some(1));
+    assert_eq!(chaos.get("dropped").unwrap().as_u64(), Some(1));
+    let fab = ctx.get("udp_fabric").expect("fabric context");
+    assert_eq!(fab.get("frames_malformed_dropped").unwrap().as_u64(), Some(1));
+    let errors = fab.get("rx_errors").unwrap().items().unwrap();
+    assert_eq!(errors.len(), 1, "the parked error log rides along");
+    assert_eq!(errors[0].get("kind").unwrap().as_str(), Some("malformed"));
+    // And the dump text renders/parses cleanly with the context embedded.
+    let parsed = me_trace::Json::parse(&doc.render_pretty()).unwrap();
+    assert_eq!(parsed, doc);
 }
 
 /// The advance idle loop honors its configured spin budget: with tiny
