@@ -4,7 +4,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke bench-attribution bench-attribution-smoke test-flight triage-check triage-smoke triage-baseline bench-backplane backplane-smoke test-chaos bench-chaos chaos-smoke test-shard bench-scale bench-scale-smoke bench-telemetry bench-telemetry-smoke test-timeline
+.PHONY: verify build test doc clippy bench-trace test-soak bench-failover bench-datapath bench-datapath-smoke bench-attribution bench-attribution-smoke test-flight triage-check triage-smoke triage-baseline bench-backplane backplane-smoke test-chaos bench-chaos chaos-smoke test-shard bench-scale bench-scale-smoke bench-telemetry bench-telemetry-smoke test-timeline test-doctor bench-doctor doctor-smoke
 
 verify: build test doc clippy
 
@@ -159,3 +159,26 @@ bench-telemetry:
 # CI smoke flavour: reduced iterations, same gates and artifacts.
 bench-telemetry-smoke:
 	TELEMETRY_SMOKE=1 timeout 300 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench telemetry
+
+# Health-plane unit + property tests: the detector suite (silence on
+# constant/white-noise series, guaranteed step detection, CUSUM catching
+# drifts the z-score misses, monitor determinism) plus the doctor bench
+# cells as library tests (docs/OBSERVABILITY.md § Online health plane).
+test-doctor:
+	timeout 300 $(CARGO) test $(OFFLINE) -p integration-tests --test doctor_properties
+	timeout 300 $(CARGO) test $(OFFLINE) -p multiedge-bench --lib doctor::
+
+# Doctor bench: detector overhead gate (≥95% frames/wall-s, zero
+# allocations per sample, bit-identical protocol stats), rail-outage
+# detection within 3 sample intervals, zero false alarms across 8 clean
+# seeds, a chaos burst diagnosed as retransmit_storm, and the 4-shard
+# incast/balanced pair. Every cell replays its JSONL offline and demands
+# a byte-identical report. Writes results/BENCH_doctor.json and
+# results/doctor_incidents.json. Bounded by `timeout` so a wedged drive
+# loop cannot hang the pipeline.
+bench-doctor:
+	timeout 600 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench doctor
+
+# CI smoke flavour: reduced cells, same gates and artifacts.
+doctor-smoke:
+	DOCTOR_SMOKE=1 timeout 300 $(CARGO) bench $(OFFLINE) -p multiedge-bench --bench doctor

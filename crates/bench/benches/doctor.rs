@@ -1,0 +1,383 @@
+//! Health-plane cost and fidelity gates (`me-doctor`).
+//!
+//! The streaming detectors ([`me_trace::detect`]) promise to be purely
+//! observational — allocation-free at every sample tick, ≤5% frames/wall-s
+//! on top of the already-gated sampler — and to diagnose correctly: a
+//! scripted rail outage opens `RailOutage` within 3 sample intervals of
+//! injection, a clean seed sweep opens nothing, a chaos loss burst names
+//! `RetransmitStorm`, incast fan-in names the receiver's shard hot, and
+//! the offline JSONL replay reproduces every online verdict byte-for-byte
+//! (asserted inside each cell). This bench enforces all of it and writes
+//! the committed `results/BENCH_doctor.json` plus
+//! `results/doctor_incidents.json` (every cell's incident report, the
+//! artifact CI uploads on failure).
+//!
+//! Modes (environment variables):
+//!
+//! * default — full cells, all gates, artifacts written.
+//! * `DOCTOR_SMOKE=1` — CI smoke: small cells, every gate still enforced,
+//!   artifacts still written (marked `"mode": "smoke"`).
+//!
+//! # Isolating the detectors' marginal cost
+//!
+//! Same discipline as the telemetry bench: interleaved health-off /
+//! health-on rounds compared on each side's *minimum* wall time for the
+//! fps ratio, and a two-point difference in run length for the marginal
+//! allocations — per extra sample row, the armed monitor must allocate
+//! nothing.
+
+use me_trace::{HealthConfig, HealthReport, IncidentCause, Json, SCHEMA_VERSION};
+use multiedge::SystemConfig;
+use multiedge_bench::doctor::{
+    balanced_doctor, chaos_burst_doctor, clean_seeds_doctor, incast_doctor, rail_outage_doctor,
+};
+use multiedge_bench::micro::{run_micro_doctor, run_micro_sampled, MicroKind, MicroResult};
+use netsim::shard::ShardMode;
+use netsim::time::us;
+use netsim::{Dur, FaultPlan};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Counting global allocator
+// ---------------------------------------------------------------------------
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            ALLOC_CALLS.fetch_add(1, Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+// ---------------------------------------------------------------------------
+// Overhead gate
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a string — compact fingerprint for the stats Debug output.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Measure {
+    frames: u64,
+    rows: u64,
+    wall_s: f64,
+    allocs: u64,
+    fingerprint: String,
+}
+
+/// One sampled two-way run on the clean 1L-1G config (1 ms interval), with
+/// the health monitor armed when `health` is set. Both sides sample; only
+/// the detector work differs, so the comparison isolates its cost.
+fn measure(size: usize, iters: usize, health: bool) -> Measure {
+    let mut cfg = SystemConfig::one_link_1g(2);
+    cfg.seed = 7;
+    let interval = Dur(us(1000).as_nanos());
+    let a0 = ALLOC_CALLS.load(Relaxed);
+    let t0 = Instant::now();
+    let r: MicroResult = if health {
+        run_micro_doctor(
+            &cfg,
+            MicroKind::TwoWay,
+            size,
+            iters,
+            &FaultPlan::new(),
+            interval,
+            HealthConfig::default(),
+        )
+    } else {
+        run_micro_sampled(
+            &cfg,
+            MicroKind::TwoWay,
+            size,
+            iters,
+            &FaultPlan::new(),
+            Some(interval),
+        )
+    };
+    let wall_s = t0.elapsed().as_secs_f64();
+    let allocs = ALLOC_CALLS.load(Relaxed) - a0;
+    Measure {
+        frames: r.proto.data_frames_sent,
+        rows: r.timeline.as_ref().map_or(0, |tl| tl.len() as u64),
+        wall_s,
+        allocs,
+        fingerprint: format!("{:016x}", fnv1a(&format!("{:?}|{:?}", r.proto, r.net))),
+    }
+}
+
+/// Marginal allocations per sample row attributable to the armed monitor:
+/// two run lengths difference out per-run setup, the health-off baseline
+/// differences out the sampler itself.
+fn allocs_per_sample(iters: usize) -> f64 {
+    const S: usize = 64 << 10;
+    let on_1 = measure(S, iters, true);
+    let on_2 = measure(S, 4 * iters, true);
+    let off_1 = measure(S, iters, false);
+    let off_2 = measure(S, 4 * iters, false);
+    let d_on = on_2.allocs as i64 - on_1.allocs as i64;
+    let d_off = off_2.allocs as i64 - off_1.allocs as i64;
+    let d_rows = on_2.rows as i64 - on_1.rows as i64;
+    assert!(d_rows > 0, "longer run must commit more sample rows");
+    (d_on - d_off) as f64 / d_rows as f64
+}
+
+/// The detector overhead gate: interleaved min-wall health-off/on rounds
+/// until the frames/wall-s ratio clears 0.95 (or a round cap is hit, at
+/// which point a genuine regression fails the assert), plus the
+/// allocation and fingerprint gates.
+fn overhead_gate(iters: usize) -> Json {
+    const S: usize = 64 << 10;
+    let iters = iters.max(20);
+    let mut off: Option<Measure> = None;
+    let mut on: Option<Measure> = None;
+    let mut rounds = 0usize;
+    loop {
+        let m = measure(S, 2 * iters, false);
+        if off.as_ref().is_none_or(|b| m.wall_s < b.wall_s) {
+            off = Some(m);
+        }
+        let m = measure(S, 2 * iters, true);
+        if on.as_ref().is_none_or(|b| m.wall_s < b.wall_s) {
+            on = Some(m);
+        }
+        rounds += 1;
+        let (o, s) = (off.as_ref().unwrap(), on.as_ref().unwrap());
+        let ratio = (s.frames as f64 / s.wall_s) / (o.frames as f64 / o.wall_s);
+        if (rounds >= 5 && ratio >= 0.95) || rounds >= 20 {
+            break;
+        }
+    }
+    let (off, on) = (off.expect("measured"), on.expect("measured"));
+    assert_eq!(
+        off.fingerprint, on.fingerprint,
+        "the monitor must be purely observational (stats fingerprint changed)"
+    );
+    let off_fps = off.frames as f64 / off.wall_s;
+    let on_fps = on.frames as f64 / on.wall_s;
+    let ratio = on_fps / off_fps;
+    let aps = allocs_per_sample(iters);
+    println!(
+        "overhead {off_fps:>9.0} -> {on_fps:>9.0} frames/wall-s  ratio {ratio:.3}  {aps:+.3} allocs/sample"
+    );
+    assert!(
+        aps.abs() < 0.01,
+        "health monitor allocates per sample tick: {aps:.4}"
+    );
+    assert!(
+        ratio >= 0.95,
+        "health monitor costs more than 5% frames/wall-s: ratio {ratio:.3}"
+    );
+    Json::obj()
+        .set("config", "1L-1G")
+        .set("kind", "two-way")
+        .set("plain_frames_per_wall_s", off_fps)
+        .set("doctor_frames_per_wall_s", on_fps)
+        .set("fps_ratio", ratio)
+        .set("allocs_per_sample", aps)
+        .set("stats_match", true)
+        .set("gate", "fps_ratio >= 0.95 && |allocs_per_sample| < 0.01 && stats fingerprints identical")
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// Workspace-root `results/` dir, independent of cargo's bench CWD.
+fn results_path(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(file)
+}
+
+fn incident_artifact(cells: &[(&str, &HealthReport)]) -> Json {
+    let entries: Vec<Json> = cells
+        .iter()
+        .map(|(name, r)| Json::obj().set("cell", *name).set("report", r.to_json()))
+        .collect();
+    Json::obj()
+        .set("schema_version", SCHEMA_VERSION)
+        .set("kind", "multiedge_doctor_incidents")
+        .set("cells", entries)
+}
+
+fn main() {
+    let smoke = std::env::var("DOCTOR_SMOKE").is_ok();
+    let iters = if smoke { 10 } else { 40 };
+
+    // Warm up lazy runtime initialization outside the measured cells.
+    let mut warm = SystemConfig::one_link_1g(2);
+    warm.seed = 7;
+    let _ = run_micro_sampled(
+        &warm,
+        MicroKind::TwoWay,
+        4 << 10,
+        4,
+        &FaultPlan::new(),
+        None,
+    );
+
+    let overhead = overhead_gate(iters);
+
+    // Rail outage: detection latency gate. The offline ≡ online replay
+    // gate runs inside the cell.
+    let r = rail_outage_doctor(smoke);
+    let rail_health = r.result.health.clone().expect("health armed");
+    println!(
+        "rail-outage  injected {:.2}ms  opened {:.2}ms  ({} interval(s), gate <= 3)",
+        r.injected_ns as f64 / 1e6,
+        r.opened_ns as f64 / 1e6,
+        r.detect_intervals
+    );
+    assert!(
+        r.detect_intervals <= 3,
+        "RailOutage opened {} intervals after injection",
+        r.detect_intervals
+    );
+    let rail = Json::obj()
+        .set("config", "2Lu-1G")
+        .set("kind", "one-way")
+        .set("injected_t_ns", r.injected_ns)
+        .set("opened_t_ns", r.opened_ns)
+        .set("detect_intervals", r.detect_intervals)
+        .set("incidents", rail_health.incidents.len())
+        .set("offline_identical", true)
+        .set("gate", "RailOutage opens within 3 sample intervals of injection");
+
+    // Clean seeds: false-alarm gate.
+    let seeds: &[u64] = &[3, 5, 7, 11, 13, 17, 19, 23];
+    let clean = clean_seeds_doctor(smoke, seeds);
+    let false_alarms: u64 = clean.iter().map(|(_, r)| r.incidents.len() as u64).sum();
+    println!(
+        "clean-seeds  {} seeds  {} incidents (gate: 0)",
+        clean.len(),
+        false_alarms
+    );
+    for (seed, report) in &clean {
+        assert!(
+            report.incidents.is_empty(),
+            "seed {seed} raised incidents on a clean run:\n{}",
+            report.render_human()
+        );
+    }
+    let clean_json = Json::obj()
+        .set("config", "2Lu-1G")
+        .set("kind", "two-way")
+        .set("seeds", seeds.iter().map(|&s| Json::from(s)).collect::<Vec<_>>())
+        .set("false_alarms", false_alarms)
+        .set("gate", "zero incidents across every clean seed");
+
+    // Chaos burst: cause-naming gate on the wire runtime.
+    let c = chaos_burst_doctor(smoke);
+    let storm = c
+        .health
+        .first(IncidentCause::RetransmitStorm)
+        .expect("a loss burst must diagnose as RetransmitStorm");
+    println!(
+        "chaos-burst  {} dropped  storm opened {:.2}ms (burst armed {:.2}ms)",
+        c.chaos.dropped,
+        storm.opened_t_ns as f64 / 1e6,
+        c.burst_at_ns as f64 / 1e6
+    );
+    assert!(c.chaos.dropped > 0, "the burst must drop frames");
+    assert!(storm.opened_t_ns >= c.burst_at_ns);
+    let chaos_json = Json::obj()
+        .set("config", "BP-2L+chaos(burst GE 0.15/0.3 loss 0.6)")
+        .set("kind", "one-way")
+        .set("chaos_dropped", c.chaos.dropped)
+        .set("burst_at_ns", c.burst_at_ns)
+        .set("storm_opened_t_ns", storm.opened_t_ns)
+        .set("incidents", c.health.incidents.len())
+        .set("offline_identical", true)
+        .set("gate", "burst loss diagnoses as RetransmitStorm after the burst arms");
+
+    // Incast vs balanced: the sharded cross-member diagnosis.
+    let inc = incast_doctor(smoke, ShardMode::Cooperative);
+    let inc_health = inc.shard_health.clone().expect("diagnosis enabled");
+    let i = inc_health
+        .first(IncidentCause::IncastImbalance)
+        .expect("incast must diagnose as IncastImbalance");
+    let hot = i.evidence()[0].column as usize;
+    println!(
+        "incast       hot member {} ({} alarms)  balanced: checking...",
+        hot, i.alarms
+    );
+    assert_eq!(hot, 0, "the receiver's shard must be named hot");
+    let bal = balanced_doctor(smoke, ShardMode::Cooperative);
+    let bal_health = bal.shard_health.clone().expect("diagnosis enabled");
+    println!(
+        "balanced     {} incidents (gate: 0)",
+        bal_health.incidents.len()
+    );
+    assert!(
+        bal_health.incidents.is_empty(),
+        "balanced all-to-all must stay clean:\n{}",
+        bal_health.render_human()
+    );
+    let shard_json = Json::obj()
+        .set("incast_config", "2Lu-1G incast-8 / 4 shards")
+        .set("balanced_config", "4L-1G all-to-all-8 / 4 shards")
+        .set("incast_hot_member", hot)
+        .set("incast_alarms", i.alarms)
+        .set("balanced_incidents", bal_health.incidents.len())
+        .set("gate", "incast names shard 0 hot; balanced stays clean");
+
+    // Incident-report artifact: every cell's full report, uploaded by CI
+    // on failure for post-mortem triage.
+    let clean_reports: Vec<(String, &HealthReport)> = clean
+        .iter()
+        .map(|(s, r)| (format!("clean_seed_{s}"), r))
+        .collect();
+    let mut cells: Vec<(&str, &HealthReport)> = vec![
+        ("rail_outage", &rail_health),
+        ("chaos_burst", &c.health),
+        ("incast", &inc_health),
+        ("balanced", &bal_health),
+    ];
+    cells.extend(clean_reports.iter().map(|(n, r)| (n.as_str(), *r)));
+    std::fs::create_dir_all(results_path("")).expect("create results dir");
+    std::fs::write(
+        results_path("doctor_incidents.json"),
+        incident_artifact(&cells).render_pretty(),
+    )
+    .expect("write incident artifact");
+
+    let doc = Json::obj()
+        .set("schema_version", SCHEMA_VERSION)
+        .set("bench", "doctor")
+        .set("mode", if smoke { "smoke" } else { "full" })
+        .set(
+            "methodology",
+            "interleaved min-wall off/on rounds for fps ratio; two-point run-length difference (health-on minus health-off) for allocs/sample; every cell replays its JSONL artifact offline and requires a byte-identical report",
+        )
+        .set("overhead", overhead)
+        .set("rail_outage", rail)
+        .set("clean_seeds", clean_json)
+        .set("chaos_burst", chaos_json)
+        .set("shards", shard_json);
+    std::fs::write(results_path("BENCH_doctor.json"), doc.render_pretty())
+        .expect("write json");
+    println!("wrote results/BENCH_doctor.json and results/doctor_incidents.json");
+}

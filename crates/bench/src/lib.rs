@@ -12,6 +12,7 @@ pub mod backplane;
 pub mod chaos;
 pub mod micro;
 pub mod scale;
+pub mod doctor;
 pub mod telemetry;
 pub mod triage;
 

@@ -70,6 +70,9 @@ pub struct MicroResult {
     /// Node 0's own end-of-run stats (not merged with node 1) — the
     /// aggregate the timeline's per-interval deltas must reconcile with.
     pub timeline_proto: Option<multiedge::ProtoStats>,
+    /// Node 0's streaming health verdict when the run was started via
+    /// [`run_micro_doctor`]; `None` otherwise.
+    pub health: Option<me_trace::HealthReport>,
 }
 
 /// How many operations to run for a given size (bounded total volume).
@@ -110,6 +113,42 @@ pub fn run_micro_sampled(
     plan: &FaultPlan,
     sample_interval: Option<Dur>,
 ) -> MicroResult {
+    run_micro_inner(cfg, kind, size, iters, plan, sample_interval, None)
+}
+
+/// Like [`run_micro_sampled`], but arms the sampler with a streaming
+/// [`me_trace::HealthMonitor`] ([`Endpoint::start_timeline_with_health`]):
+/// the anomaly detectors run at every sample tick and the verdict lands in
+/// [`MicroResult::health`].
+pub fn run_micro_doctor(
+    cfg: &SystemConfig,
+    kind: MicroKind,
+    size: usize,
+    iters: usize,
+    plan: &FaultPlan,
+    sample_interval: Dur,
+    health: me_trace::HealthConfig,
+) -> MicroResult {
+    run_micro_inner(
+        cfg,
+        kind,
+        size,
+        iters,
+        plan,
+        Some(sample_interval),
+        Some(health),
+    )
+}
+
+fn run_micro_inner(
+    cfg: &SystemConfig,
+    kind: MicroKind,
+    size: usize,
+    iters: usize,
+    plan: &FaultPlan,
+    sample_interval: Option<Dur>,
+    health: Option<me_trace::HealthConfig>,
+) -> MicroResult {
     let mut cfg = cfg.clone();
     cfg.nodes = 2;
     let sim = Sim::new(cfg.seed);
@@ -123,7 +162,10 @@ pub fn run_micro_sampled(
     }
     cluster.apply_fault_plan(&sim, plan);
     let (c0, c1) = Endpoint::connect(&eps[0], &eps[1]);
-    let sampler = sample_interval.map(|iv| eps[0].start_timeline(c0, iv, 512));
+    let sampler = sample_interval.map(|iv| match health {
+        Some(hc) => eps[0].start_timeline_with_health(c0, iv, 512, hc),
+        None => eps[0].start_timeline(c0, iv, 512),
+    });
 
     // Average host-initiation overhead is measured inside the driver tasks.
     let (a, b) = (eps[0].clone(), eps[1].clone());
@@ -207,7 +249,11 @@ pub fn run_micro_sampled(
 
     let report = sim.run();
     report.expect_quiescent();
+    // `finish` consumes the sampler but also feeds the monitor one final
+    // row, so snapshot the health verdict through the shared handle after.
+    let shared = sampler.as_ref().map(|s| s.shared());
     let timeline = sampler.map(|s| s.finish());
+    let health = shared.and_then(|tl| tl.borrow().health_report());
     let timeline_proto = timeline.as_ref().map(|_| eps[0].stats());
     let (elapsed, avg_init_ns) = elapsed_task.try_take().expect("driver finished");
     let elapsed_s = elapsed.as_secs_f64();
@@ -253,6 +299,7 @@ pub fn run_micro_sampled(
         conn_proto,
         timeline,
         timeline_proto,
+        health,
     }
 }
 

@@ -129,6 +129,11 @@ pub struct ScaleCellResult {
     /// same slice of virtual time — feed the per-interval deltas to
     /// [`me_trace::imbalance`] to name the hot shard.
     pub shard_samples: Vec<Timeline>,
+    /// Cross-shard health diagnosis over [`ScaleCellResult::shard_samples`]
+    /// when the run was started via [`run_scale_cell_doctor`]; `None`
+    /// otherwise. A persistently hot shard opens an `IncastImbalance`
+    /// incident; identical across [`ShardMode`]s.
+    pub shard_health: Option<me_trace::HealthReport>,
 }
 
 /// FNV-1a over the memory regions `node` received, per the cell's pattern.
@@ -277,11 +282,35 @@ pub fn run_scale_cell_sampled(
     mode: ShardMode,
     sample_interval: Option<Dur>,
 ) -> Result<ScaleCellResult, ShardError> {
+    run_scale_cell_inner(cell, shards, mode, sample_interval, None)
+}
+
+/// Like [`run_scale_cell_sampled`], but also runs the cross-shard health
+/// diagnosis over the per-shard event timelines after the run (see
+/// [`ScaleCellResult::shard_health`]).
+pub fn run_scale_cell_doctor(
+    cell: &ScaleCell,
+    shards: usize,
+    mode: ShardMode,
+    sample_interval: Dur,
+    health: me_trace::HealthConfig,
+) -> Result<ScaleCellResult, ShardError> {
+    run_scale_cell_inner(cell, shards, mode, Some(sample_interval), Some(health))
+}
+
+fn run_scale_cell_inner(
+    cell: &ScaleCell,
+    shards: usize,
+    mode: ShardMode,
+    sample_interval: Option<Dur>,
+    health: Option<me_trace::HealthConfig>,
+) -> Result<ScaleCellResult, ShardError> {
     let spec = cell.cfg.cluster_spec();
     let shard_cfg = ShardRunConfig {
         mode,
         wall_limit: Some(cell.wall_limit),
         sample_interval,
+        health,
         ..Default::default()
     };
     let pattern = cell.pattern;
@@ -340,6 +369,7 @@ pub fn run_scale_cell_sampled(
         proto,
         net,
         shard_samples: report.samples,
+        shard_health: report.health,
     })
 }
 

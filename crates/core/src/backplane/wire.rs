@@ -29,9 +29,11 @@ use std::collections::VecDeque;
 use bytes::Bytes;
 use frame::{FastMap, Frame, FrameFlags, FrameHeader, FrameKind, NackRanges};
 use me_trace::{
-    FlightCode, FlightRecorder, Leg, SourceId, SpanKey, SpanKind, SpanRecorder, Timeline,
-    TimelineBuilder,
+    FlightCode, FlightRecorder, HealthConfig, HealthMonitor, HealthReport, Leg, SourceId, SpanKey,
+    SpanKind, SpanRecorder, Timeline, TimelineBuilder,
 };
+use std::cell::RefCell;
+use std::rc::Rc;
 use netsim::SimTime;
 
 use crate::config::ProtoConfig;
@@ -344,6 +346,10 @@ struct WireSampler {
     rail_backlog: Vec<SourceId>,
     last_token: u64,
     last_token_change_ns: u64,
+    /// Streaming health monitor over the committed rows; shared so the
+    /// flight recorder's `health` context source can read detector state
+    /// at dump time.
+    health: Option<Rc<RefCell<HealthMonitor>>>,
 }
 
 impl WireEndpoint {
@@ -424,7 +430,38 @@ impl WireEndpoint {
             rail_backlog,
             last_token: 0,
             last_token_change_ns: start_ns,
+            health: None,
         });
+    }
+
+    /// Attach a streaming [`HealthMonitor`] to the enabled timeline: the
+    /// detectors run on every committed row (from [`WireEndpoint::poll`]'s
+    /// due-sampling as well as explicit [`WireEndpoint::sample_timeline`]
+    /// calls), a newly opened incident arms the flight recorder's
+    /// `Anomaly` trigger, and detector state rides along in dumps as the
+    /// `health` context source. Call after [`WireEndpoint::enable_timeline`]
+    /// (panics otherwise — caller bug) and after
+    /// [`WireEndpoint::set_flight`] if dumps should carry detector state.
+    pub fn enable_health(&mut self, cfg: HealthConfig) {
+        let s = self
+            .sampler
+            .as_mut()
+            .expect("enable_timeline before enable_health");
+        let mon = Rc::new(RefCell::new(HealthMonitor::for_timeline(&s.tl, cfg)));
+        s.health = Some(mon.clone());
+        if self.flight.is_enabled() {
+            self.flight.add_context_source(
+                "health",
+                Rc::new(move || mon.borrow().state_json()),
+            );
+        }
+    }
+
+    /// Snapshot the health verdict, if [`WireEndpoint::enable_health`] is
+    /// active.
+    pub fn health_report(&self) -> Option<HealthReport> {
+        let s = self.sampler.as_ref()?;
+        s.health.as_ref().map(|h| h.borrow().report())
     }
 
     /// Commit one timeline row right now (no-op without
@@ -448,36 +485,54 @@ impl WireEndpoint {
             .unwrap_or(0);
         let backoff = u64::from(self.max_backoff());
         let fence = self.fence_buffered_total() as u64;
-        let s = self.sampler.as_mut().expect("checked above");
-        if token != s.last_token {
-            s.last_token = token;
-            s.last_token_change_ns = now;
+        let opened = {
+            let s = self.sampler.as_mut().expect("checked above");
+            if token != s.last_token {
+                s.last_token = token;
+                s.last_token_change_ns = now;
+            }
+            for (id, (_, v)) in s.counters.iter().zip(stats.monotone_counters()) {
+                s.tl.set(*id, v);
+            }
+            s.tl.set(s.progress_token, token);
+            s.tl.set(s.token_age_ns, now.saturating_sub(s.last_token_change_ns));
+            s.tl.set(s.in_flight, in_flight);
+            s.tl.set(s.active_rails, active);
+            s.tl.set(s.rto_ns, rto);
+            s.tl.set(s.backoff, backoff);
+            s.tl.set(s.fence_buffered, fence);
+            for (r, &sid) in s.rail_state.iter().enumerate() {
+                // Worst (highest-coded) rail state across connections; in the
+                // standard `pair` arrangement there is exactly one connection.
+                let code = self
+                    .conns
+                    .iter()
+                    .map(|c| crate::timeline::rail_state_code(c.rails.state(r)))
+                    .max()
+                    .unwrap_or(0);
+                s.tl.set(sid, code);
+            }
+            for (r, &bid) in s.rail_backlog.iter().enumerate() {
+                s.tl.set(bid, bp.tx_backlog_ns(r));
+            }
+            s.tl.sample(now);
+            match &s.health {
+                Some(h) => {
+                    let i = s.tl.len() - 1;
+                    let (t, vals) = s.tl.row(i);
+                    let opened = h.borrow_mut().observe(t, vals, s.tl.stale_words(i));
+                    opened.map(|cause| (cause, h.borrow().open_incidents()))
+                }
+                None => None,
+            }
+        };
+        // Flight arming happens with the sampler borrow released: the dump
+        // evaluates the `health` context source, which re-borrows the
+        // monitor.
+        if let Some((cause, open)) = opened {
+            self.flight
+                .anomaly(self.node, None, cause.ordinal() as u64, open as u64, now);
         }
-        for (id, (_, v)) in s.counters.iter().zip(stats.monotone_counters()) {
-            s.tl.set(*id, v);
-        }
-        s.tl.set(s.progress_token, token);
-        s.tl.set(s.token_age_ns, now.saturating_sub(s.last_token_change_ns));
-        s.tl.set(s.in_flight, in_flight);
-        s.tl.set(s.active_rails, active);
-        s.tl.set(s.rto_ns, rto);
-        s.tl.set(s.backoff, backoff);
-        s.tl.set(s.fence_buffered, fence);
-        for (r, &sid) in s.rail_state.iter().enumerate() {
-            // Worst (highest-coded) rail state across connections; in the
-            // standard `pair` arrangement there is exactly one connection.
-            let code = self
-                .conns
-                .iter()
-                .map(|c| crate::timeline::rail_state_code(c.rails.state(r)))
-                .max()
-                .unwrap_or(0);
-            s.tl.set(sid, code);
-        }
-        for (r, &bid) in s.rail_backlog.iter().enumerate() {
-            s.tl.set(bid, bp.tx_backlog_ns(r));
-        }
-        s.tl.sample(now);
     }
 
     /// Detach and return the sample ring recorded so far.

@@ -20,7 +20,10 @@
 use crate::endpoint::Endpoint;
 use crate::railhealth::RailState;
 use crate::stats::ProtoStats;
-use me_trace::{SourceId, Timeline, TimelineBuilder};
+use me_trace::{
+    HealthConfig, HealthMonitor, HealthReport, IncidentCause, Json, SourceId, Timeline,
+    TimelineBuilder,
+};
 use netsim::{Dur, Sim};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -48,6 +51,7 @@ pub struct EndpointTimeline {
     backoff: SourceId,
     rail_state: Vec<SourceId>,
     nic_backlog: Vec<SourceId>,
+    health: Option<HealthMonitor>,
 }
 
 impl EndpointTimeline {
@@ -79,7 +83,16 @@ impl EndpointTimeline {
             backoff,
             rail_state,
             nic_backlog,
+            health: None,
         }
+    }
+
+    /// Attach a streaming [`HealthMonitor`] over the registered sources:
+    /// every subsequent [`EndpointTimeline::sample`] also runs the
+    /// detectors on the committed row (allocation-free) and reports a
+    /// newly opened incident to the caller.
+    pub fn enable_health(&mut self, cfg: HealthConfig) {
+        self.health = Some(HealthMonitor::for_timeline(&self.tl, cfg));
     }
 
     /// Is a row due at `now_ns`?
@@ -88,8 +101,11 @@ impl EndpointTimeline {
     }
 
     /// Read every registered signal from `ep` and commit one row stamped
-    /// `now_ns`. Allocation-free.
-    pub fn sample(&mut self, ep: &Endpoint, now_ns: u64) {
+    /// `now_ns`; when a health monitor is attached, run the detectors on
+    /// the committed row. Allocation-free. Returns the cause of an
+    /// incident newly opened by this row — the caller's cue to arm the
+    /// flight recorder (done outside this borrow).
+    pub fn sample(&mut self, ep: &Endpoint, now_ns: u64) -> Option<IncidentCause> {
         let stats = ep.stats();
         for (id, (_, v)) in self.counters.iter().zip(stats.monotone_counters()) {
             self.tl.set(*id, v);
@@ -103,6 +119,20 @@ impl EndpointTimeline {
             self.tl.set(bid, ep.nic_backlog_ns(r));
         }
         self.tl.sample(now_ns);
+        let health = self.health.as_mut()?;
+        let i = self.tl.len() - 1;
+        let (t, vals) = self.tl.row(i);
+        health.observe(t, vals, self.tl.stale_words(i))
+    }
+
+    /// The attached health monitor, if any.
+    pub fn health(&self) -> Option<&HealthMonitor> {
+        self.health.as_ref()
+    }
+
+    /// Snapshot the health verdict, if a monitor is attached.
+    pub fn health_report(&self) -> Option<HealthReport> {
+        self.health.as_ref().map(|h| h.report())
     }
 
     /// The underlying sample ring.
@@ -132,15 +162,40 @@ impl EndpointSampler {
     pub fn finish(self) -> Timeline {
         self.stop.set(true);
         let now = self.ep.sim_handle().now().as_nanos();
-        let mut tl = self.tl.borrow_mut();
-        tl.sample(&self.ep, now);
-        tl.timeline().clone()
+        let opened = self.tl.borrow_mut().sample(&self.ep, now);
+        if let Some(cause) = opened {
+            arm_flight(&self.ep, &self.tl, cause, now);
+        }
+        self.tl.borrow().timeline().clone()
+    }
+
+    /// Snapshot the health verdict, if this sampler was started with a
+    /// monitor ([`Endpoint::start_timeline_with_health`]).
+    pub fn health_report(&self) -> Option<HealthReport> {
+        self.tl.borrow().health_report()
     }
 
     /// Shared access to the live sampler (e.g. to inspect mid-run).
     pub fn shared(&self) -> Rc<RefCell<EndpointTimeline>> {
         self.tl.clone()
     }
+}
+
+/// Report a newly opened incident to the endpoint's flight recorder. Both
+/// timeline borrows are released before [`FlightRecorder::anomaly`] runs:
+/// the dump evaluates context sources that re-borrow the sampler.
+///
+/// [`FlightRecorder::anomaly`]: me_trace::FlightRecorder::anomaly
+fn arm_flight(ep: &Endpoint, tl: &Rc<RefCell<EndpointTimeline>>, cause: IncidentCause, t_ns: u64) {
+    let fr = ep.flight_recorder();
+    if !fr.is_enabled() {
+        return;
+    }
+    let (conn, open) = {
+        let t = tl.borrow();
+        (t.conn, t.health().map(|h| h.open_incidents()).unwrap_or(0))
+    };
+    fr.anomaly(ep.node(), Some(conn), cause.ordinal() as u64, open as u64, t_ns);
 }
 
 fn arm(sim: &Sim, ep: Endpoint, tl: Rc<RefCell<EndpointTimeline>>, stop: Rc<Cell<bool>>, d: Dur) {
@@ -150,7 +205,11 @@ fn arm(sim: &Sim, ep: Endpoint, tl: Rc<RefCell<EndpointTimeline>>, stop: Rc<Cell
         if stop.get() {
             return;
         }
-        tl.borrow_mut().sample(&ep, sim.now().as_nanos());
+        let now = sim.now().as_nanos();
+        let opened = tl.borrow_mut().sample(&ep, now);
+        if let Some(cause) = opened {
+            arm_flight(&ep, &tl, cause, now);
+        }
         // Re-arm only while application tasks are live, so the recurring
         // event never keeps the simulation from quiescing.
         if sim.live_tasks() > 0 {
@@ -167,15 +226,54 @@ impl Endpoint {
     /// [`EndpointSampler::finish`] after `sim.run()` for the final
     /// reconciliation row.
     pub fn start_timeline(&self, conn: usize, interval: Dur, capacity: usize) -> EndpointSampler {
+        self.start_sampler(conn, interval, capacity, None)
+    }
+
+    /// Like [`Endpoint::start_timeline`], but with a streaming
+    /// [`HealthMonitor`] attached: the detectors run at every sample tick
+    /// (zero allocations in steady state), a newly opened incident arms
+    /// the flight recorder's `Anomaly` trigger, and the detector state
+    /// rides along in dumps as the `health` context source. Collect the
+    /// verdict with [`EndpointSampler::health_report`].
+    pub fn start_timeline_with_health(
+        &self,
+        conn: usize,
+        interval: Dur,
+        capacity: usize,
+        cfg: HealthConfig,
+    ) -> EndpointSampler {
+        self.start_sampler(conn, interval, capacity, Some(cfg))
+    }
+
+    fn start_sampler(
+        &self,
+        conn: usize,
+        interval: Dur,
+        capacity: usize,
+        health: Option<HealthConfig>,
+    ) -> EndpointSampler {
         let sim = self.sim_handle().clone();
         let start_ns = sim.now().as_nanos();
-        let tl = Rc::new(RefCell::new(EndpointTimeline::new(
-            self.nic_count(),
-            conn,
-            interval,
-            capacity,
-            start_ns,
-        )));
+        let mut et = EndpointTimeline::new(self.nic_count(), conn, interval, capacity, start_ns);
+        if let Some(cfg) = health {
+            et.enable_health(cfg);
+        }
+        let tl = Rc::new(RefCell::new(et));
+        if health.is_some() {
+            let fr = self.flight_recorder();
+            if fr.is_enabled() {
+                let tlc = tl.clone();
+                fr.add_context_source(
+                    "health",
+                    Rc::new(move || {
+                        tlc.borrow()
+                            .health()
+                            .map(|h| h.state_json())
+                            .unwrap_or(Json::Null)
+                    }),
+                );
+            }
+        }
         let stop = Rc::new(Cell::new(false));
         arm(&sim, self.clone(), tl.clone(), stop.clone(), interval);
         EndpointSampler {

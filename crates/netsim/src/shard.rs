@@ -47,7 +47,7 @@ use crate::net::{splitmix64, BoundaryTx, ChannelId, Network, NicId, RemoteDest, 
 use crate::time::{Dur, SimTime};
 use crate::topology::ClusterSpec;
 use frame::{FastMap, MacAddr};
-use me_trace::{SourceId, Timeline, TimelineBuilder};
+use me_trace::{HealthConfig, HealthReport, SourceId, Timeline, TimelineBuilder};
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -469,6 +469,14 @@ pub struct ShardRunConfig {
     /// oldest rows are evicted (their deltas fold into the base) beyond
     /// this.
     pub sample_capacity: usize,
+    /// When set (and [`ShardRunConfig::sample_interval`] is on), run the
+    /// streaming health detectors over the per-shard event timelines after
+    /// the run: each shard's per-interval event deltas become one member
+    /// series, and a persistently hot shard opens an `IncastImbalance`
+    /// incident in [`ShardRunReport::health`]. The diagnosis is a pure
+    /// function of the sample grids, which are bit-identical across
+    /// [`ShardMode`]s — so the verdict is too.
+    pub health: Option<HealthConfig>,
 }
 
 impl Default for ShardRunConfig {
@@ -479,6 +487,7 @@ impl Default for ShardRunConfig {
             wall_limit: None,
             sample_interval: None,
             sample_capacity: 4096,
+            health: None,
         }
     }
 }
@@ -583,6 +592,11 @@ pub struct ShardRunReport {
     /// carries a single `events` counter whose per-interval deltas are the
     /// events that shard executed in that slice of virtual time.
     pub samples: Vec<Timeline>,
+    /// Cross-shard health diagnosis over [`ShardRunReport::samples`], when
+    /// [`ShardRunConfig::health`] was set: the per-shard event-delta series
+    /// run through the imbalance detector, flagging a persistently hot
+    /// shard as an `IncastImbalance` incident. Identical across modes.
+    pub health: Option<HealthReport>,
 }
 
 /// Everything one shard publishes after executing a window; the inputs to
@@ -902,11 +916,12 @@ fn run_cooperative<S, Out: Send>(
                 .map(|(sn, st)| collect(sn, st.take().expect("state consumed once")))
                 .collect();
             let end_time = nets.iter().map(|sn| sn.sim.now()).max().unwrap_or(SimTime::ZERO);
-            let samples = samplers
+            let samples: Vec<Timeline> = samplers
                 .into_iter()
                 .zip(&stats)
                 .flat_map(|(smp, st)| smp.map(|s| s.finish(last_window_end_ns, st.events)))
                 .collect();
+            let health = shard_health(cfg, &samples);
             Ok((
                 ShardRunReport {
                     shards,
@@ -916,6 +931,7 @@ fn run_cooperative<S, Out: Send>(
                     lookahead: plan.lookahead(),
                     per_shard: stats,
                     samples,
+                    health,
                 },
                 outs,
             ))
@@ -1151,6 +1167,7 @@ fn run_threaded<S, Out: Send>(
         samples.extend(tl);
         end_time = end_time.max(now);
     }
+    let health = shard_health(cfg, &samples);
     Ok((
         ShardRunReport {
             shards,
@@ -1160,9 +1177,23 @@ fn run_threaded<S, Out: Send>(
             lookahead: plan.lookahead(),
             per_shard,
             samples,
+            health,
         },
         outs,
     ))
+}
+
+/// Post-run cross-shard diagnosis: feed each shard's per-interval event
+/// deltas to the imbalance detector as one member series. Runs only when
+/// both sampling and [`ShardRunConfig::health`] are on; a pure function of
+/// the (mode-invariant) sample grids, so cooperative and threaded runs
+/// produce byte-identical reports.
+fn shard_health(cfg: &ShardRunConfig, samples: &[Timeline]) -> Option<HealthReport> {
+    let hc = cfg.health?;
+    if samples.is_empty() {
+        return None;
+    }
+    Some(me_trace::diagnose_member_timelines(samples, "events", hc))
 }
 
 #[cfg(test)]
@@ -1354,6 +1385,91 @@ mod tests {
                 "sample grids must be bit-identical across execution modes"
             );
         }
+    }
+
+    /// 8 nodes, 4 rails, 4 shards, health diagnosis enabled. Rail `r`'s
+    /// switch lands on shard `r`, so in the balanced case each adjacent
+    /// node pair bursts over its own shard's rail (every shard runs the
+    /// same pair plus one switch); `hot` routes only the shard-0 pair,
+    /// over rail 0, leaving the other shards idle.
+    fn health_run(mode: ShardMode, hot: bool) -> ShardRunReport {
+        let spec = spec(8, 4);
+        // The lopsided case relies on both chatty nodes landing on the
+        // same shard, so the hot load stays intra-shard.
+        let plan = ShardPlan::partition(&spec, 4).unwrap();
+        assert_eq!(plan.node_shard(0), plan.node_shard(1));
+        assert_eq!(plan.switch_shard(0), 0);
+        let hc = HealthConfig {
+            imbalance_min_total: 8,
+            ..Default::default()
+        };
+        let cfg = ShardRunConfig {
+            mode,
+            wall_limit: Some(std::time::Duration::from_secs(30)),
+            sample_interval: Some(Dur(20_000)),
+            health: Some(hc),
+            ..Default::default()
+        };
+        let (report, _) = run_sharded(
+            &spec,
+            4,
+            7,
+            None,
+            &cfg,
+            |sn: &ShardNet| {
+                for &node in sn.local_nodes() {
+                    if hot && node > 1 {
+                        continue;
+                    }
+                    let peer = (node ^ 1) as u16;
+                    let rail = if hot { 0 } else { node / 2 };
+                    for _ in 0..128 {
+                        let f = Frame {
+                            src: MacAddr::new(node as u16, rail as u8),
+                            dst: MacAddr::new(peer, rail as u8),
+                            header: FrameHeader::default(),
+                            payload: Bytes::from(vec![0u8; 64]),
+                        };
+                        let net = sn.net().clone();
+                        let nic = sn.nics(node)[rail];
+                        sn.sim().schedule_at(SimTime::ZERO, move |_| {
+                            net.nic_send(nic, f);
+                        });
+                    }
+                }
+            },
+            |_, _| (),
+        )
+        .unwrap();
+        report
+    }
+
+    #[test]
+    fn shard_health_flags_hot_shard_and_stays_quiet_when_balanced() {
+        let hot = health_run(ShardMode::Cooperative, true);
+        let report = hot.health.expect("health was configured");
+        let inc = report
+            .first(me_trace::IncidentCause::IncastImbalance)
+            .expect("a persistently hot shard must open an IncastImbalance incident");
+        assert!(inc.alarms > 0);
+        let clean = health_run(ShardMode::Cooperative, false);
+        let report = clean.health.expect("health was configured");
+        assert!(
+            report.incidents.is_empty(),
+            "balanced load must stay clean:\n{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn shard_health_verdict_is_mode_invariant() {
+        let coop = health_run(ShardMode::Cooperative, true);
+        let thr = health_run(ShardMode::Threaded, true);
+        assert_eq!(
+            coop.health.expect("configured").to_json().render(),
+            thr.health.expect("configured").to_json().render(),
+            "diagnosis must be byte-identical across execution modes"
+        );
     }
 
     #[test]

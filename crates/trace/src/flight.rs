@@ -34,9 +34,18 @@ pub struct FlightConfig {
     pub fence_stall_trigger_ns: u64,
     /// Dump when rail health declares a rail Dead.
     pub dump_on_rail_death: bool,
+    /// Dump when the health monitor opens an incident (the `Anomaly`
+    /// trigger).
+    pub dump_on_anomaly: bool,
     /// Retain at most this many dumps (further triggers are counted but
     /// suppressed).
     pub max_dumps: usize,
+    /// Suppress a dump whose trigger label matches the previous dump of
+    /// that label within this window (0 disables deduplication). Without
+    /// it a flapping rail can exhaust `max_dumps` on identical
+    /// post-mortems and mask a later *distinct* incident; suppressed
+    /// duplicates are counted per trigger ([`FlightRecorder::dedup_counts`]).
+    pub dedup_window_ns: u64,
     /// When set, each dump is also written to
     /// `<dump_dir>/flight_<idx>_<trigger>.json`.
     pub dump_dir: Option<String>,
@@ -49,7 +58,9 @@ impl Default for FlightConfig {
             rto_backoff_trigger: 3,
             fence_stall_trigger_ns: 10_000_000,
             dump_on_rail_death: true,
+            dump_on_anomaly: true,
             max_dumps: 8,
+            dedup_window_ns: 0,
             dump_dir: None,
         }
     }
@@ -91,6 +102,11 @@ pub enum FlightCode {
     /// A liveness watchdog tripped (`a` = error discriminant, `b` = ns
     /// without protocol progress).
     Watchdog = 14,
+    /// The health monitor opened an incident (`a` = [`IncidentCause`]
+    /// ordinal, `b` = open-incident count).
+    ///
+    /// [`IncidentCause`]: crate::detect::IncidentCause
+    Anomaly = 15,
 }
 
 impl FlightCode {
@@ -112,11 +128,12 @@ impl FlightCode {
             FlightCode::FenceRelease => "fence_release",
             FlightCode::FaultInjected => "fault_injected",
             FlightCode::Watchdog => "watchdog",
+            FlightCode::Anomaly => "anomaly",
         }
     }
 
     fn from_u8(v: u8) -> &'static str {
-        const ALL: [FlightCode; 15] = [
+        const ALL: [FlightCode; 16] = [
             FlightCode::OpIssue,
             FlightCode::OpComplete,
             FlightCode::FrameSend,
@@ -132,6 +149,7 @@ impl FlightCode {
             FlightCode::FenceRelease,
             FlightCode::FaultInjected,
             FlightCode::Watchdog,
+            FlightCode::Anomaly,
         ];
         ALL.get(v as usize).map(|c| c.label()).unwrap_or("unknown")
     }
@@ -182,6 +200,10 @@ struct FlightState {
     total: u64,
     dumps: Vec<FlightDump>,
     dumps_suppressed: u64,
+    /// Per trigger label: time of the last *taken* dump (dedup anchor).
+    last_dump: Vec<(String, u64)>,
+    /// Per trigger label: duplicates suppressed by the dedup window.
+    dedup_suppressed: Vec<(String, u64)>,
     write_errors: u64,
     spans: SpanRecorder,
     context: Vec<ContextSource>,
@@ -212,6 +234,8 @@ impl FlightRecorder {
                 total: 0,
                 dumps: Vec::new(),
                 dumps_suppressed: 0,
+                last_dump: Vec::new(),
+                dedup_suppressed: Vec::new(),
                 write_errors: 0,
                 spans: SpanRecorder::disabled(),
                 context: Vec::new(),
@@ -342,6 +366,20 @@ impl FlightRecorder {
         }
     }
 
+    /// The health monitor opened an incident (`cause_ordinal` =
+    /// `IncidentCause::ordinal`, `open` = incidents now open); dumps when
+    /// [`FlightConfig::dump_on_anomaly`] is set. The detector state itself
+    /// rides along via a context source registered by whoever armed the
+    /// monitor.
+    pub fn anomaly(&self, node: usize, conn: Option<usize>, cause_ordinal: u64, open: u64, t_ns: u64) {
+        self.note(FlightCode::Anomaly, node, conn, None, cause_ordinal, open, t_ns);
+        let Some(state) = &self.inner else { return };
+        let dump = state.borrow().cfg.dump_on_anomaly;
+        if dump {
+            self.dump("anomaly", t_ns);
+        }
+    }
+
     /// Take a dump right now regardless of triggers (used by tools and
     /// tests). Returns the dump document unless disabled or suppressed.
     pub fn force_dump(&self, t_ns: u64) -> Option<Json> {
@@ -355,6 +393,22 @@ impl FlightRecorder {
         // and may re-enter this recorder while doing so.
         let (idx, mut doc, sources, dir) = {
             let mut s = state.borrow_mut();
+            if s.cfg.dedup_window_ns > 0 {
+                let dup = s
+                    .last_dump
+                    .iter()
+                    .find(|(l, _)| l == trigger)
+                    .is_some_and(|&(_, last)| t_ns.saturating_sub(last) < s.cfg.dedup_window_ns);
+                if dup {
+                    // Identical-trigger dump inside the window: count it
+                    // per trigger instead of burning the dump budget.
+                    match s.dedup_suppressed.iter_mut().find(|(l, _)| l == trigger) {
+                        Some(e) => e.1 += 1,
+                        None => s.dedup_suppressed.push((trigger.to_string(), 1)),
+                    }
+                    return None;
+                }
+            }
             if s.dumps.len() >= s.cfg.max_dumps {
                 s.dumps_suppressed += 1;
                 return None;
@@ -425,6 +479,10 @@ impl FlightRecorder {
             path,
             json: doc.clone(),
         });
+        match s.last_dump.iter_mut().find(|(l, _)| l == trigger) {
+            Some(e) => e.1 = t_ns,
+            None => s.last_dump.push((trigger.to_string(), t_ns)),
+        }
         Some(doc)
     }
 
@@ -433,6 +491,15 @@ impl FlightRecorder {
         self.inner
             .as_ref()
             .map(|s| s.borrow().dumps.clone())
+            .unwrap_or_default()
+    }
+
+    /// Per-trigger duplicate dumps suppressed by
+    /// [`FlightConfig::dedup_window_ns`] (label, count), first-seen order.
+    pub fn dedup_counts(&self) -> Vec<(String, u64)> {
+        self.inner
+            .as_ref()
+            .map(|s| s.borrow().dedup_suppressed.clone())
             .unwrap_or_default()
     }
 
@@ -506,6 +573,54 @@ mod tests {
         assert!(fr.force_dump(3).is_none());
         let (_, taken, suppressed) = fr.counters();
         assert_eq!((taken, suppressed), (2, 1));
+    }
+
+    #[test]
+    fn dedup_window_suppresses_identical_triggers_only() {
+        let fr = FlightRecorder::enabled(FlightConfig {
+            dedup_window_ns: 1_000,
+            max_dumps: 8,
+            ..FlightConfig::default()
+        });
+        // A flapping rail: three deaths inside the window → one dump.
+        fr.rail_death(0, None, 0, 100);
+        fr.rail_death(0, None, 0, 400);
+        fr.rail_death(0, None, 1, 900);
+        assert_eq!(fr.counters().1, 1);
+        // A *distinct* trigger inside the window still dumps: the window
+        // is per trigger label, so the flap cannot mask it.
+        fr.watchdog(0, None, 2, 5_000, 950);
+        assert_eq!(fr.counters().1, 2);
+        // Past the window the same trigger dumps again.
+        fr.rail_death(0, None, 0, 1_200);
+        assert_eq!(fr.counters().1, 3);
+        assert_eq!(
+            fr.dedup_counts(),
+            vec![("rail_death".to_string(), 2)],
+            "duplicates counted per trigger"
+        );
+        let (_, _, budget_suppressed) = fr.counters();
+        assert_eq!(budget_suppressed, 0, "dedup does not burn the dump budget");
+    }
+
+    #[test]
+    fn anomaly_trigger_dumps_and_is_configurable() {
+        let fr = FlightRecorder::enabled(FlightConfig::default());
+        fr.anomaly(0, Some(0), 0, 1, 777);
+        let dumps = fr.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].trigger, "anomaly");
+        let events = dumps[0].json.get("events").unwrap().items().unwrap();
+        assert_eq!(
+            events.last().unwrap().get("code").unwrap().as_str(),
+            Some("anomaly")
+        );
+        let fr = FlightRecorder::enabled(FlightConfig {
+            dump_on_anomaly: false,
+            ..FlightConfig::default()
+        });
+        fr.anomaly(0, None, 1, 1, 800);
+        assert_eq!(fr.counters(), (1, 0, 0), "event noted, dump gated off");
     }
 
     #[test]

@@ -53,6 +53,12 @@
 //!    names the phase and protocol layer that moved
 //!    ("p99 regressed 18%, dominated by +reorder (ordering)"); this is the
 //!    engine behind `me-inspect diff` and the `make triage-check` CI gate.
+//! 8. **Online health plane** — [`detect`]: allocation-free streaming
+//!    anomaly detectors (robust z-score, CUSUM, rate-burst) over the
+//!    timeline plane's delta rows, correlated into typed [`Incident`]s
+//!    with a named probable cause; the same engine replays JSONL
+//!    artifacts offline for `me-inspect doctor` with bit-identical
+//!    verdicts.
 //!
 //! ```
 //! use me_trace::{EventKind, Tracer};
@@ -74,6 +80,7 @@
 #![warn(missing_docs)]
 
 pub mod attribution;
+pub mod detect;
 pub mod diff;
 pub mod event;
 pub mod flight;
@@ -86,6 +93,11 @@ pub mod timeline;
 mod tracer;
 
 pub use attribution::{analyze, Attribution, Phase, PhaseBreakdown, PhaseRollup, PHASES};
+pub use detect::{
+    diagnose_imbalance, diagnose_member_timelines, Alarm, AlarmKind, Burst, Cusum, HealthConfig,
+    HealthMonitor, HealthReport, Incident, IncidentCause, Zscore, HEALTH_KIND, MAX_EVIDENCE,
+    NUM_CAUSES,
+};
 pub use diff::{diff_cell, diff_docs, diff_rollups, CellDiff, DiffConfig, DiffReport, Verdict};
 pub use event::{Event, EventKind, FaultKind};
 pub use flight::{FlightCode, FlightConfig, FlightDump, FlightEvent, FlightRecorder};

@@ -25,7 +25,18 @@
 //! invariant (`base + Σ deltas == final`) does not hold:
 //!
 //! ```text
-//! cargo run --release --bin me-inspect -- timeline dump.jsonl [more.jsonl ...] [--json]
+//! cargo run --release --bin me-inspect -- timeline dump.jsonl [more.jsonl ...] [--json] [--quiet]
+//! ```
+//!
+//! Replay the streaming health detectors over timeline artifacts offline
+//! (`doctor`): every row runs through the same z-score/CUSUM/burst/rule
+//! detectors the online [`me_trace::HealthMonitor`] applies at sample
+//! time, producing bit-identical incidents. Several files add the
+//! cross-file (per-shard) imbalance diagnosis. Prints the incident table,
+//! exits 1 when an incident is still open at end of artifact:
+//!
+//! ```text
+//! cargo run --release --bin me-inspect -- doctor dump.jsonl [more.jsonl ...] [--json]
 //! ```
 //!
 //! With no argument it demonstrates the whole loop end to end: it runs a
@@ -36,7 +47,10 @@
 //! Set `ME_INSPECT_ALL=1` to print every retained event instead of the
 //! trailing window.
 
-use me_trace::{diff_docs, imbalance, DiffConfig, FlightConfig, Json, SourceKind, TimelineDoc};
+use me_trace::{
+    diagnose_imbalance, diff_docs, imbalance, DiffConfig, FlightConfig, HealthConfig,
+    HealthMonitor, HealthReport, Json, SourceKind, TimelineDoc,
+};
 use multiedge::{Endpoint, OpFlags, SystemConfig};
 use netsim::time::ms;
 use netsim::{build_cluster, FaultPlan, Sim};
@@ -49,6 +63,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("timeline") {
         run_timeline(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("doctor") {
+        run_doctor(&args[1..]);
     }
     let doc = match args.first() {
         Some(path) => load(path),
@@ -104,35 +121,57 @@ fn run_diff(args: &[String]) -> ! {
 // timeline subcommand
 // ---------------------------------------------------------------------------
 
-/// `me-inspect timeline <dump.jsonl> [more.jsonl ...] [--json]`: exit 0
-/// clean, 1 on usage or unreadable/invalid artifacts, 2 when any file's
-/// counter columns fail the telescoping invariant.
-fn run_timeline(args: &[String]) -> ! {
-    let json_out = args.iter().any(|a| a == "--json");
-    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    if paths.is_empty() {
-        eprintln!("usage: me-inspect timeline <dump.jsonl> [more.jsonl ...] [--json]");
-        std::process::exit(1);
-    }
-    let docs: Vec<(String, TimelineDoc)> = paths
+/// Read and parse a set of timeline artifacts, exiting with `err_exit` on
+/// the first unreadable or non-timeline file.
+fn load_docs(paths: &[&String], err_exit: i32) -> Vec<(String, TimelineDoc)> {
+    paths
         .iter()
         .map(|p| {
             let text = match std::fs::read_to_string(p) {
                 Ok(t) => t,
                 Err(e) => {
                     eprintln!("me-inspect: cannot read {p}: {e}");
-                    std::process::exit(1);
+                    std::process::exit(err_exit);
                 }
             };
             match TimelineDoc::parse_jsonl(&text) {
                 Ok(d) => (p.to_string(), d),
                 Err(e) => {
                     eprintln!("me-inspect: {p} is not a timeline artifact: {e}");
-                    std::process::exit(1);
+                    std::process::exit(err_exit);
                 }
             }
         })
-        .collect();
+        .collect()
+}
+
+/// `me-inspect timeline <dump.jsonl> [more.jsonl ...] [--json] [--quiet]`:
+/// exit 0 clean, 1 on usage or unreadable/invalid artifacts, 2 when any
+/// file's counter columns fail the telescoping invariant.
+fn run_timeline(args: &[String]) -> ! {
+    const USAGE: &str = "usage: me-inspect timeline <dump.jsonl> [more.jsonl ...] [--json] [--quiet]\n\
+        \n\
+        Renders interval-sampled timeline artifacts as per-interval sparkline\n\
+        tables (a machine-readable report with --json; --quiet suppresses all\n\
+        normal output so only the exit code carries the verdict). Several\n\
+        files add the cross-file imbalance table.\n\
+        \n\
+        Exit codes:\n\
+        \x20 0  every file parses and its telescoping invariant holds\n\
+        \x20 2  a file's counters do not reconcile (base + deltas != final)\n\
+        \x20 1  usage error or unreadable/invalid artifact";
+    if args.iter().any(|a| a == "--help") {
+        println!("{USAGE}");
+        std::process::exit(0);
+    }
+    let json_out = args.iter().any(|a| a == "--json");
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(1);
+    }
+    let docs = load_docs(&paths, 1);
     let mut broken = false;
     for (path, doc) in &docs {
         if let Err(e) = doc.reconcile() {
@@ -140,7 +179,9 @@ fn run_timeline(args: &[String]) -> ! {
             broken = true;
         }
     }
-    if json_out {
+    if quiet {
+        // Verdict is the exit code; diagnostics already went to stderr.
+    } else if json_out {
         let files: Vec<Json> = docs.iter().map(|(p, d)| timeline_json(p, d)).collect();
         let mut out = Json::obj()
             .set("kind", "me_inspect_timeline")
@@ -159,6 +200,103 @@ fn run_timeline(args: &[String]) -> ! {
         }
     }
     std::process::exit(if broken { 2 } else { 0 });
+}
+
+// ---------------------------------------------------------------------------
+// doctor subcommand
+// ---------------------------------------------------------------------------
+
+/// `me-inspect doctor <dump.jsonl> [more.jsonl ...] [--json]`: replay the
+/// streaming health detectors offline. Exit 0 healthy, 1 when an incident
+/// is still open at end of artifact, 2 on usage or unreadable artifacts.
+fn run_doctor(args: &[String]) -> ! {
+    const USAGE: &str = "usage: me-inspect doctor <dump.jsonl> [more.jsonl ...] [--json]\n\
+        \n\
+        Replays the streaming health detectors (robust z-score, CUSUM, rate\n\
+        burst, rail/fence rules) over timeline artifacts — the same engine the\n\
+        online HealthMonitor runs at sample time, so the incident tables are\n\
+        bit-identical. Several files add the cross-file (per-shard) imbalance\n\
+        diagnosis on each file's first counter column.\n\
+        \n\
+        Exit codes:\n\
+        \x20 0  no incident open at end of artifact\n\
+        \x20 1  at least one incident still open\n\
+        \x20 2  usage error or unreadable/invalid artifact";
+    if args.iter().any(|a| a == "--help") {
+        println!("{USAGE}");
+        std::process::exit(0);
+    }
+    let json_out = args.iter().any(|a| a == "--json");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    let docs = load_docs(&paths, 2);
+    let cfg = HealthConfig::default();
+    let reports: Vec<(&String, HealthReport)> = docs
+        .iter()
+        .map(|(p, d)| {
+            let mut mon = HealthMonitor::for_doc(d, cfg);
+            mon.replay_doc(d);
+            (p, mon.report())
+        })
+        .collect();
+    let cross = (docs.len() > 1).then(|| cross_diagnosis(&docs, cfg));
+    let open: usize = reports.iter().map(|(_, r)| r.open_incidents()).sum::<usize>()
+        + cross.as_ref().map_or(0, HealthReport::open_incidents);
+    if json_out {
+        let files: Vec<Json> = reports
+            .iter()
+            .map(|(p, r)| Json::obj().set("path", p.as_str()).set("report", r.to_json()))
+            .collect();
+        let mut out = Json::obj()
+            .set("kind", "me_inspect_doctor")
+            .set("open_incidents", open as u64)
+            .set("files", files);
+        if let Some(c) = &cross {
+            out = out.set("cross_file", c.to_json());
+        }
+        print!("{}", out.render_pretty());
+    } else {
+        for (p, r) in &reports {
+            println!("doctor {p}");
+            print!("{}", r.render_human());
+            println!();
+        }
+        if let Some(c) = &cross {
+            println!(
+                "cross-file imbalance diagnosis ({} members, first counter column)",
+                docs.len()
+            );
+            print!("{}", c.render_human());
+        }
+    }
+    std::process::exit(if open > 0 { 1 } else { 0 });
+}
+
+/// Cross-file diagnosis: each file is one member series, measured on its
+/// first counter column's per-interval deltas — the detector-backed
+/// version of the timeline imbalance table.
+fn cross_diagnosis(docs: &[(String, TimelineDoc)], cfg: HealthConfig) -> HealthReport {
+    let labels: Vec<String> = docs.iter().map(|(p, _)| p.clone()).collect();
+    let members: Vec<Vec<u64>> = docs
+        .iter()
+        .map(|(_, d)| {
+            let c = d
+                .sources
+                .iter()
+                .position(|s| s.kind == SourceKind::Counter)
+                .unwrap_or(0);
+            series(d, c)
+        })
+        .collect();
+    let t_ns: Vec<u64> = docs
+        .iter()
+        .max_by_key(|(_, d)| d.samples.len())
+        .map(|(_, d)| d.samples.iter().map(|(t, _)| *t).collect())
+        .unwrap_or_default();
+    diagnose_imbalance(&labels, &t_ns, &members, cfg)
 }
 
 /// Eight-level unicode sparkline of a series, bucket-downsampled to at

@@ -1,0 +1,181 @@
+//! Property tests for the streaming anomaly detectors behind the health
+//! plane ([`me_trace::detect`]): on boring inputs — constant series,
+//! bounded i.i.d. noise — no detector ever alarms at the default
+//! thresholds; a level step at least as large as the alarm bound is caught
+//! on the very next reading; a slow ramp that the z-score provably never
+//! flags still drives the CUSUM over its threshold; and the full monitor
+//! is a pure function of its row stream (two runs render byte-identical
+//! reports).
+
+use me_trace::{Burst, Cusum, HealthConfig, HealthMonitor, SourceKind, Zscore};
+use proptest::prelude::*;
+
+/// SplitMix64 — a tiny deterministic generator so "white noise" means
+/// genuinely i.i.d. draws from a seed, not an adversarially chosen
+/// sequence (a bounded but *persistent* offset is a real level shift and
+/// is supposed to alarm).
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi]`.
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+proptest! {
+    /// A constant series is the quietest possible input: the z-score and
+    /// CUSUM never alarm at any level, and the burst rule fires at most
+    /// on the very first reading (a storm already present at startup is
+    /// an alarm by design) — never once the rate is established. An
+    /// all-zero series never fires at all.
+    #[test]
+    fn constant_series_never_alarms(level in 0u64..1_000_000, len in 2usize..300) {
+        let cfg = HealthConfig::default();
+        let (mut z, mut c, mut b) = (Zscore::default(), Cusum::default(), Burst::default());
+        for i in 0..len {
+            let zs = z.observe(level as f64, &cfg);
+            let cs = c.observe(level as f64, &cfg);
+            let bs = b.observe(level, &cfg);
+            prop_assert!(zs.abs() < cfg.z_threshold, "z alarmed on constant at row {i}: {zs}");
+            prop_assert!(cs < cfg.cusum_threshold, "cusum alarmed on constant at row {i}: {cs}");
+            if i > 0 || level == 0 {
+                prop_assert!(bs == 0.0, "burst fired on established constant rate at row {i}: {bs}");
+            }
+        }
+    }
+
+    /// Bounded i.i.d. noise stays silent: draws within ±2% of a positive
+    /// mean sit inside both detectors' relative σ floors (z floor 50% of
+    /// mean, CUSUM floor 5% plus 0.5 slack per step), so neither the
+    /// level-shift nor the drift detector ever alarms, at any scale.
+    #[test]
+    fn white_noise_never_alarms(
+        mean in 100u64..1_000_000,
+        seed in any::<u64>(),
+        len in 10usize..400,
+    ) {
+        let cfg = HealthConfig::default();
+        let mut rng = SplitMix(seed);
+        let m = mean as f64;
+        let (mut z, mut c) = (Zscore::default(), Cusum::default());
+        for i in 0..len {
+            let x = rng.range(0.98 * m, 1.02 * m);
+            let zs = z.observe(x, &cfg);
+            let cs = c.observe(x, &cfg);
+            prop_assert!(zs.abs() < cfg.z_threshold, "z alarmed on noise at row {i}: {zs}");
+            prop_assert!(cs < cfg.cusum_threshold, "cusum alarmed on noise at row {i}: {cs}");
+        }
+    }
+
+    /// Guaranteed detection: after any warm constant baseline, a step of
+    /// at least `z_threshold × σ-floor` above the level alarms on the very
+    /// next reading — one interval of detection latency, no exceptions.
+    #[test]
+    fn level_step_alarms_on_next_reading(
+        level in 0u64..100_000,
+        warm in 10u32..80,
+        extra in 1u64..1_000,
+    ) {
+        let cfg = HealthConfig::default();
+        let m = level as f64;
+        let floor = cfg.sigma_floor_abs.max(cfg.sigma_floor_rel * m);
+        let step = m + cfg.z_threshold * floor + extra as f64;
+        let mut z = Zscore::default();
+        for i in 0..warm.max(cfg.warmup + 1) {
+            let s = z.observe(m, &cfg);
+            prop_assert!(s.abs() < cfg.z_threshold, "alarmed before the step at row {i}");
+        }
+        let s = z.observe(step, &cfg);
+        prop_assert!(
+            s >= cfg.z_threshold,
+            "step {step} over baseline {m} scored only {s}"
+        );
+    }
+
+    /// The division of labor the module promises: a slow upward ramp whose
+    /// per-reading excursion never reaches the z-threshold (the fast EWMA
+    /// drags its own reference along) still accumulates in the CUSUM —
+    /// slow reference, per-step slack notwithstanding — and crosses its
+    /// threshold before the ramp ends.
+    #[test]
+    fn cusum_catches_drift_the_zscore_misses(
+        base in 500u64..50_000,
+        slope_permille in 5u64..20,
+    ) {
+        let cfg = HealthConfig::default();
+        let m = base as f64;
+        let d = m * slope_permille as f64 / 1000.0;
+        let (mut z, mut c) = (Zscore::default(), Cusum::default());
+        for _ in 0..=cfg.warmup {
+            z.observe(m, &cfg);
+            c.observe(m, &cfg);
+        }
+        let mut cusum_alarmed = false;
+        let mut x = m;
+        for i in 0..150 {
+            x += d;
+            let zs = z.observe(x, &cfg);
+            prop_assert!(
+                zs.abs() < cfg.z_threshold,
+                "ramp row {i} tripped the z-score ({zs}); the drift is not slow"
+            );
+            if c.observe(x, &cfg) >= cfg.cusum_threshold {
+                cusum_alarmed = true;
+                break;
+            }
+        }
+        prop_assert!(cusum_alarmed, "a {slope_permille}‰/interval ramp never tripped the CUSUM");
+    }
+
+    /// The burst rule on a quiet-on-healthy counter: any run of zero
+    /// deltas followed by a delta at or above the floor fires exactly at
+    /// the storm row.
+    #[test]
+    fn burst_fires_on_first_storm_after_quiet(
+        quiet in 1usize..200,
+        storm in 4u64..100_000,
+    ) {
+        let cfg = HealthConfig::default();
+        let storm = storm.max(cfg.burst_floor);
+        let mut b = Burst::default();
+        for i in 0..quiet {
+            prop_assert!(b.observe(0, &cfg) == 0.0, "burst fired on quiet row {i}");
+        }
+        prop_assert!(b.observe(storm, &cfg) > 0.0, "storm delta {storm} did not fire");
+    }
+
+    /// The monitor is a pure function of `(t_ns, values, stale_words)`:
+    /// feeding the same arbitrary row stream twice renders byte-identical
+    /// reports — the determinism the offline `me-inspect doctor` replay
+    /// contract rests on.
+    #[test]
+    fn monitor_is_deterministic(
+        rows in proptest::collection::vec(
+            (1u64..2_000_000, 0u64..50_000, 0u64..200, 0u64..64), 1..200),
+    ) {
+        let names: Vec<String> = ["events", "retransmits_nack", "inflight"]
+            .iter().map(|s| s.to_string()).collect();
+        let kinds = [SourceKind::Counter, SourceKind::Counter, SourceKind::Gauge];
+        let cfg = HealthConfig::default();
+        let run = || {
+            let mut m = HealthMonitor::new(&names, &kinds, cfg);
+            let mut t = 0u64;
+            for (dt, ev, nack, g) in &rows {
+                t += dt;
+                m.observe(t, &[*ev, *nack, *g], &[0]);
+            }
+            m.report().to_json().render()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
